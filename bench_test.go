@@ -1,0 +1,110 @@
+package bear_test
+
+// The benchmark harness: one testing.B benchmark per paper table/figure.
+// Each benchmark regenerates its artifact through the experiment registry
+// (internal/exp) at quick parameters, so `go test -bench=.` exercises every
+// experiment end to end; run `cmd/bearbench -run <id>` for paper-sized
+// parameters and readable output.
+
+import (
+	"io"
+	"testing"
+
+	"bear/internal/exp"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		// A fresh runner per iteration so the memo cache doesn't turn
+		// subsequent iterations into no-ops.
+		r := exp.NewRunner(p)
+		if err := e.Run(p, io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: Loh-Hill vs Alloy vs BW-Opt bloat
+// factor, hit latency and speedup over a system without a DRAM cache.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Figure 4: the Alloy cache's bandwidth breakdown
+// against the BW-Opt ideal and the potential performance headroom.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5: naive probabilistic bypass at P=50%
+// and P=90% (hit latency, hit rate, speedup per workload).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig7 regenerates Figure 7: Bandwidth-Aware Bypass speedups.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig9 regenerates Figure 9: DCP on top of BAB.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig11 regenerates Figure 11: NTC on top of BAB+DCP.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12: Alloy vs BEAR vs BW-Opt across all
+// workloads with RATE/MIX/ALL geomeans.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13: the bloat-factor breakdown for each
+// BEAR component stack.
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Figure 14: bandwidth and capacity sensitivity.
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15 regenerates Figure 15: bank-count sensitivity.
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkFig16 regenerates Figure 16: Tags-In-SRAM and Sector Cache
+// against Alloy and BEAR.
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17 regenerates Figure 17: all DRAM-cache designs normalized
+// to a system without a DRAM cache.
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkTab2 regenerates Table 2: measured workload characteristics.
+func BenchmarkTab2(b *testing.B) { benchExperiment(b, "tab2") }
+
+// BenchmarkTab4 regenerates Table 4: hit rate and latency, Alloy vs BEAR.
+func BenchmarkTab4(b *testing.B) { benchExperiment(b, "tab4") }
+
+// BenchmarkTab5 regenerates Table 5: BEAR's storage overhead.
+func BenchmarkTab5(b *testing.B) { benchExperiment(b, "tab5") }
+
+// BenchmarkTab1 regenerates Table 1: the system configuration.
+func BenchmarkTab1(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkTab3 regenerates Table 3: the mixed-workload compositions.
+func BenchmarkTab3(b *testing.B) { benchExperiment(b, "tab3") }
+
+// BenchmarkAblBAB sweeps the bypass probability (Section 4.2 sensitivity).
+func BenchmarkAblBAB(b *testing.B) { benchExperiment(b, "abl-bab") }
+
+// BenchmarkAblNTC sweeps the NTC capacity.
+func BenchmarkAblNTC(b *testing.B) { benchExperiment(b, "abl-ntc") }
+
+// BenchmarkAblPred compares predictor qualities.
+func BenchmarkAblPred(b *testing.B) { benchExperiment(b, "abl-pred") }
+
+// BenchmarkAblWBAlloc compares writeback allocation policies.
+func BenchmarkAblWBAlloc(b *testing.B) { benchExperiment(b, "abl-wballoc") }
+
+// BenchmarkAblDeadBlock compares BAB with a dead-block-predictor bypass.
+func BenchmarkAblDeadBlock(b *testing.B) { benchExperiment(b, "abl-deadblock") }
+
+// BenchmarkAblTagCache compares spatial and temporal tag caching.
+func BenchmarkAblTagCache(b *testing.B) { benchExperiment(b, "abl-tagcache") }
+
+// BenchmarkAblDIP compares Loh-Hill insertion policies.
+func BenchmarkAblDIP(b *testing.B) { benchExperiment(b, "abl-dip") }

@@ -1,0 +1,93 @@
+// Command bearbench regenerates the paper's tables and figures from live
+// simulations.
+//
+// Usage:
+//
+//	bearbench -list
+//	bearbench -run fig12
+//	bearbench -run all -quick
+//	bearbench -run fig13 -scale 64 -meas 1200000 -mixes 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bear/internal/exp"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "", "experiment id to run, or 'all'")
+		quick   = flag.Bool("quick", false, "use small quick-check parameters")
+		scale   = flag.Int("scale", 0, "override capacity divisor")
+		warm    = flag.Uint64("warm", 0, "override warm-up instructions per core")
+		meas    = flag.Uint64("meas", 0, "override measured instructions per core")
+		mixes   = flag.Int("mixes", 0, "override number of MIX workloads")
+		seed    = flag.Uint64("seed", 0, "override simulation seed")
+		verbose = flag.Bool("v", false, "log every simulation as it completes")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("Experiments (one per paper table/figure):")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-6s %-9s %s\n", e.ID, e.Artifact, e.Title)
+			fmt.Printf("         %s\n", e.About)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nrun one with: bearbench -run <id>   (or -run all)")
+		}
+		return
+	}
+
+	p := exp.Default()
+	if *quick {
+		p = exp.Quick()
+	}
+	if *scale > 0 {
+		p.Scale = *scale
+	}
+	if *warm > 0 {
+		p.Warm = *warm
+	}
+	if *meas > 0 {
+		p.Meas = *meas
+	}
+	if *mixes > 0 {
+		p.Mixes = *mixes
+	}
+	if *seed > 0 {
+		p.Seed = *seed
+	}
+
+	runner := exp.NewRunner(p)
+	if *verbose {
+		runner.Log = os.Stderr
+	}
+
+	var todo []exp.Experiment
+	if *run == "all" {
+		todo = exp.All()
+	} else {
+		e, err := exp.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []exp.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("\n### %s — %s\n### %s\n", e.Artifact, e.Title, e.About)
+		if err := e.Run(p, os.Stdout, runner); err != nil {
+			fmt.Fprintf(os.Stderr, "bearbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s done in %v, %d simulations so far]\n", e.ID, time.Since(start).Round(time.Millisecond), runner.Count)
+	}
+}

@@ -1,0 +1,128 @@
+// Command bearsim runs a single DRAM-cache simulation and prints its
+// statistics.
+//
+// Usage:
+//
+//	bearsim -workload mcf -design BEAR -scale 128 -meas 2000000
+//	bearsim -workload MIX3 -design Alloy
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"bear"
+)
+
+var designByName = map[string]bear.Design{
+	"nol4": bear.NoL4, "alloy": bear.Alloy, "bear": bear.BEAR,
+	"bwopt": bear.BWOpt, "bw-opt": bear.BWOpt, "lh": bear.LohHill,
+	"lohhill": bear.LohHill, "mc": bear.MostlyClean, "incl-alloy": bear.InclAlloy,
+	"incl": bear.InclAlloy, "tis": bear.TagsInSRAM, "sc": bear.SectorCache,
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "mcf", "benchmark name (rate mode) or MIXn")
+		design   = flag.String("design", "Alloy", "L4 design: NoL4|Alloy|BEAR|BWOpt|LH|MC|Incl-Alloy|TIS|SC")
+		scale    = flag.Int("scale", 64, "capacity divisor vs the paper's 1 GB machine")
+		warm     = flag.Uint64("warm", 1_000_000, "warm-up instructions per core")
+		meas     = flag.Uint64("meas", 2_000_000, "measured instructions per core")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		channels = flag.Int("l4channels", 0, "override L4 channel count (bandwidth study)")
+		banks    = flag.Int("l4banks", 0, "override L4 banks per channel")
+		capMB    = flag.Int64("capacity", 0, "override full-scale capacity in MB")
+		traces   = flag.String("trace", "", "glob of per-core trace files (see beartrace); replaces -workload")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	cfg := bear.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.WarmInstr = *warm
+	cfg.MeasInstr = *meas
+	cfg.Seed = *seed
+	cfg.L4Channels = *channels
+	cfg.L4Banks = *banks
+	cfg.CapacityMB = *capMB
+
+	d, ok := designByName[strings.ToLower(*design)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bearsim: unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	cfg.Design = d
+
+	var (
+		res *bear.Result
+		err error
+	)
+	switch {
+	case *traces != "":
+		var paths []string
+		paths, err = filepath.Glob(*traces)
+		if err == nil {
+			res, err = bear.RunTraceFiles(cfg, *traces, paths)
+		}
+	default:
+		if n, isMix := mixIndex(*workload); isMix {
+			res, err = bear.RunMix(cfg, n)
+		} else {
+			res, err = bear.RunRate(cfg, *workload)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bearsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "bearsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	print(res)
+}
+
+func mixIndex(name string) (int, bool) {
+	if !strings.HasPrefix(strings.ToUpper(name), "MIX") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[3:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func print(r *bear.Result) {
+	fmt.Printf("workload       %s\n", r.Workload)
+	fmt.Printf("design         %s\n", r.Design)
+	fmt.Printf("cycles         %d\n", r.Cycles)
+	fmt.Printf("instructions   %d\n", r.Instructions)
+	fmt.Printf("IPC            %.3f\n", r.IPC)
+	fmt.Printf("L3 MPKI        %.2f\n", r.L3MPKI)
+	fmt.Printf("L3 writebacks  %d\n", r.L3Writebacks)
+	fmt.Printf("L4 hit rate    %.1f%%\n", 100*r.L4HitRate)
+	fmt.Printf("L4 hit lat     %.0f cycles\n", r.L4HitLatency)
+	fmt.Printf("L4 miss lat    %.0f cycles\n", r.L4MissLatency)
+	fmt.Printf("L4 avg lat     %.0f cycles\n", r.L4AvgLatency)
+	fmt.Printf("bloat factor   %.2fx\n", r.BloatFactor)
+	b := r.Breakdown
+	fmt.Printf("  hit=%.2f missProbe=%.2f missFill=%.2f wbProbe=%.2f wbUpdate=%.2f wbFill=%.2f victim=%.2f repl=%.2f\n",
+		b.Hit, b.MissProbe, b.MissFill, b.WBProbe, b.WBUpdate, b.WBFill, b.VictimRead, b.ReplUpdate)
+	if r.Bypasses+r.DCPProbesSaved+r.NTCProbesSaved > 0 {
+		fmt.Printf("BEAR           bypasses=%d dcpSaved=%d ntcSaved=%d ntcSquash=%d\n",
+			r.Bypasses, r.DCPProbesSaved, r.NTCProbesSaved, r.NTCParallelSq)
+	}
+	fmt.Printf("mem traffic    read=%.1f MB write=%.1f MB\n",
+		float64(r.MemReadBytes)/(1<<20), float64(r.MemWriteBytes)/(1<<20))
+}

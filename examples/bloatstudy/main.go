@@ -1,0 +1,67 @@
+// Bloatstudy: measure where DRAM-cache bandwidth goes (Section 2.3).
+//
+// Reproduces the paper's motivating analysis on a workload of your choice:
+// the six-way breakdown of DRAM-cache bus traffic — Hit Probe, Miss Probe,
+// Miss Fill, Writeback Probe, Writeback Update, Writeback Fill — for the
+// Alloy baseline and for each BEAR component added one at a time.
+//
+//	go run ./examples/bloatstudy [-workload lbm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"bear"
+)
+
+func main() {
+	workload := flag.String("workload", "lbm", "rate-mode benchmark to analyse")
+	flag.Parse()
+
+	cfg := bear.DefaultConfig()
+	cfg.Scale = 128
+	cfg.WarmInstr = 400_000
+	cfg.MeasInstr = 800_000
+
+	steps := []struct {
+		name   string
+		adjust func(*bear.Config)
+	}{
+		{"Alloy", func(c *bear.Config) { c.Design = bear.Alloy }},
+		{"+BAB", func(c *bear.Config) { c.Design = bear.Alloy; c.Bypass = bear.BandwidthAware }},
+		{"+DCP", func(c *bear.Config) {
+			c.Design = bear.Alloy
+			c.Bypass = bear.BandwidthAware
+			c.UseDCP = true
+		}},
+		{"+NTC=BEAR", func(c *bear.Config) { c.Design = bear.BEAR }},
+		{"BW-Opt", func(c *bear.Config) { c.Design = bear.BWOpt }},
+	}
+
+	fmt.Printf("bandwidth breakdown for %q (bloat factor per category)\n\n", *workload)
+	fmt.Printf("%-10s %6s %10s %9s %8s %9s %7s %7s\n",
+		"scheme", "hit", "missProbe", "missFill", "wbProbe", "wbUpdate", "wbFill", "TOTAL")
+
+	var baseline *bear.Result
+	for _, s := range steps {
+		c := cfg
+		s.adjust(&c)
+		r, err := bear.RunRate(c, *workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = r
+		}
+		b := r.Breakdown
+		fmt.Printf("%-10s %6.2f %10.2f %9.2f %8.2f %9.2f %7.2f %7.2f   (speedup %.3f)\n",
+			s.name, b.Hit, b.MissProbe, b.MissFill, b.WBProbe, b.WBUpdate, b.WBFill,
+			r.BloatFactor, bear.Speedup(r, baseline))
+	}
+
+	fmt.Println("\nReading the table: only 'hit' traffic is useful; everything else is")
+	fmt.Println("bandwidth bloat. BAB shrinks missFill, DCP removes wbProbe, the NTC")
+	fmt.Println("removes missProbe; BW-Opt is the idealised lower bound of 1.0.")
+}

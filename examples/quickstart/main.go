@@ -1,0 +1,61 @@
+// Quickstart: run the paper's headline comparison on one workload.
+//
+// Simulates the omnetpp rate-mode workload on the Alloy-cache baseline,
+// on BEAR, and on the idealised Bandwidth-Optimized cache, and prints the
+// bandwidth-bloat and performance picture in a few seconds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bear"
+)
+
+func main() {
+	cfg := bear.DefaultConfig()
+	cfg.Scale = 128 // 8 MB L4: quick, same shapes
+	cfg.WarmInstr = 400_000
+	cfg.MeasInstr = 800_000
+
+	const workload = "omnetpp"
+
+	cfg.Design = bear.Alloy
+	baseline, err := bear.RunRate(cfg, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Design = bear.BEAR
+	proposal, err := bear.RunRate(cfg, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Design = bear.BWOpt
+	ideal, err := bear.RunRate(cfg, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (rate mode, 8 cores)\n\n", workload)
+	fmt.Printf("%-8s %12s %12s %12s %10s\n", "design", "bloat", "hit-latency", "hit-rate", "speedup")
+	for _, r := range []*bear.Result{baseline, proposal, ideal} {
+		fmt.Printf("%-8s %11.2fx %9.0f cyc %11.1f%% %9.3fx\n",
+			r.Design, r.BloatFactor, r.L4HitLatency, 100*r.L4HitRate,
+			bear.Speedup(r, baseline))
+	}
+
+	fmt.Printf("\nBEAR components on this run: %d fills bypassed, %d writeback probes\n",
+		proposal.Bypasses, proposal.DCPProbesSaved)
+	fmt.Printf("saved by DCP, %d miss probes saved by the NTC.\n", proposal.NTCProbesSaved)
+	fmt.Printf("\nBloat breakdown (Alloy):  hit=%.2f missProbe=%.2f missFill=%.2f wbProbe=%.2f wbUpdate=%.2f\n",
+		baseline.Breakdown.Hit, baseline.Breakdown.MissProbe, baseline.Breakdown.MissFill,
+		baseline.Breakdown.WBProbe, baseline.Breakdown.WBUpdate)
+	fmt.Printf("Bloat breakdown (BEAR):   hit=%.2f missProbe=%.2f missFill=%.2f wbProbe=%.2f wbUpdate=%.2f\n",
+		proposal.Breakdown.Hit, proposal.Breakdown.MissProbe, proposal.Breakdown.MissFill,
+		proposal.Breakdown.WBProbe, proposal.Breakdown.WBUpdate)
+	fmt.Println("\n" + bear.StorageOverhead())
+}

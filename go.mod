@@ -1,0 +1,3 @@
+module bear
+
+go 1.22

@@ -1,0 +1,125 @@
+package config
+
+import "testing"
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	s := Default(1)
+	if s.Core.Count != 8 || s.Core.Width != 2 {
+		t.Errorf("core config = %+v, want 8 cores x 2-wide", s.Core)
+	}
+	if s.L3.Bytes != 8<<20 || s.L3.Ways != 16 || s.L3.Latency != 24 {
+		t.Errorf("L3 = %+v, want 8MB/16-way/24cyc", s.L3)
+	}
+	if s.CacheBytes != 1<<30 {
+		t.Errorf("L4 capacity = %d, want 1GB", s.CacheBytes)
+	}
+	if s.L4.Channels != 4 || s.L4.Banks != 16 || s.L4.BytesPerCycle != 16 {
+		t.Errorf("L4 DRAM = %+v", s.L4)
+	}
+	if s.Mem.Channels != 2 || s.Mem.Banks != 8 || s.Mem.BytesPerCycle != 4 {
+		t.Errorf("main memory DRAM = %+v", s.Mem)
+	}
+	// The paper's 8x aggregate bandwidth ratio.
+	if r := s.L4.TotalBandwidth() / s.Mem.TotalBandwidth(); r != 8 {
+		t.Errorf("L4/Mem bandwidth ratio = %d, want 8", r)
+	}
+	for _, tm := range []uint64{s.L4.TCAS, s.L4.TRCD, s.L4.TRP} {
+		if tm != 36 {
+			t.Errorf("L4 timing = %d, want 36", tm)
+		}
+	}
+	if s.L4.TRAS != 144 {
+		t.Errorf("tRAS = %d, want 144", s.L4.TRAS)
+	}
+}
+
+func TestScalingPreservesRatios(t *testing.T) {
+	full := Default(1)
+	for _, scale := range []int{2, 8, 64} {
+		s := Default(scale)
+		if got, want := s.CacheBytes, full.CacheBytes/int64(scale); got != want {
+			t.Errorf("scale %d: capacity = %d, want %d", scale, got, want)
+		}
+		if got, want := s.L3.Bytes, full.L3.Bytes/scale; got != want {
+			t.Errorf("scale %d: L3 = %d, want %d", scale, got, want)
+		}
+		// L3 : L4 ratio preserved.
+		if got, want := s.CacheBytes/int64(s.L3.Bytes), full.CacheBytes/int64(full.L3.Bytes); got != want {
+			t.Errorf("scale %d: L4/L3 ratio = %d, want %d", scale, got, want)
+		}
+	}
+}
+
+func TestScalingFloors(t *testing.T) {
+	s := Default(1 << 20)
+	if s.L3.Bytes < 128<<10 {
+		t.Errorf("L3 fell below floor: %d", s.L3.Bytes)
+	}
+	if Default(0).CacheBytes != Default(1).CacheBytes {
+		t.Error("scale 0 should clamp to 1")
+	}
+}
+
+func TestScaledPrivateCachesBelowL3(t *testing.T) {
+	for _, scale := range []int{16, 64, 128} {
+		s := Default(scale)
+		if s.L2.Bytes >= s.L3.Bytes {
+			t.Errorf("scale %d: L2 (%d) >= L3 (%d)", scale, s.L2.Bytes, s.L3.Bytes)
+		}
+		if s.L1.Bytes >= s.L2.Bytes {
+			t.Errorf("scale %d: L1 (%d) >= L2 (%d)", scale, s.L1.Bytes, s.L2.Bytes)
+		}
+	}
+}
+
+func TestWithDesign(t *testing.T) {
+	s := Default(1).WithDesign(BEAR)
+	if s.Bypass != BandwidthAware || !s.UseDCP || !s.UseNTC {
+		t.Errorf("BEAR design did not enable all components: %+v", s)
+	}
+	s = s.WithDesign(Alloy)
+	if s.Bypass != FillAlways || s.UseDCP || s.UseNTC {
+		t.Errorf("Alloy design should reset policy knobs: %+v", s)
+	}
+}
+
+func TestAlloySets(t *testing.T) {
+	s := Default(1)
+	// 1GB / 2KB rows = 512K rows, 28 TADs each.
+	if got, want := s.AlloySets(), uint64(512<<10)*28; got != want {
+		t.Errorf("AlloySets = %d, want %d", got, want)
+	}
+	// The TAD capacity must fit in the DRAM rows.
+	if got := s.AlloySets() * 72; got > uint64(s.CacheBytes) {
+		t.Errorf("TAD bytes %d exceed capacity %d", got, s.CacheBytes)
+	}
+}
+
+func TestLHSets(t *testing.T) {
+	s := Default(1)
+	if got, want := s.LHSets(), uint64(512<<10); got != want {
+		t.Errorf("LHSets = %d, want %d", got, want)
+	}
+	// 3 tag lines + 29 data lines = 32 lines = 2KB row exactly.
+	if (3+29)*64 != s.L4.RowBytes {
+		t.Error("Loh-Hill row layout does not fill a 2KB row")
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	c := Cache{Bytes: 8 << 20, Ways: 16, LineBytes: 64}
+	if got := c.Sets(); got != 8192 {
+		t.Errorf("Sets = %d, want 8192", got)
+	}
+}
+
+func TestDesignStrings(t *testing.T) {
+	for _, d := range []Design{NoL4, Alloy, BEAR, BWOpt, LohHill, MostlyClean, InclAlloy, TIS, Sector} {
+		if d.String() == "" {
+			t.Errorf("design %d has empty name", d)
+		}
+	}
+	if BandwidthAware.String() != "BAB" || ProbBypass.String() != "PB" || FillAlways.String() != "Fill" {
+		t.Error("bypass policy names wrong")
+	}
+}

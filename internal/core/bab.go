@@ -1,0 +1,189 @@
+package core
+
+import "bear/internal/rng"
+
+// BAB implements Bandwidth-Aware Bypass (Section 4.2). The DRAM cache's
+// sets are partitioned into two sampling monitors and a follower majority:
+// sets in the PB monitor always apply probabilistic bypass, sets in the
+// baseline monitor always fill, and follower sets obey a single global mode
+// bit. Per-monitor access/miss counters are compared whenever an access
+// counter saturates: bypassing stays enabled as long as the PB monitor's
+// hit rate is at least (1 - Delta) of the baseline monitor's hit rate, with
+// Delta = 1/16 as the paper's sensitivity study selected.
+//
+// Hardware cost: two counter pairs (8 bytes per thread in the paper's
+// accounting, 64 B total) plus the mode bit.
+type BAB struct {
+	// Prob is the bypass probability P of the underlying PB policy
+	// (0.9 in the paper).
+	Prob float64
+	// Naive turns the policy into the plain Probabilistic Bypass of
+	// Section 4.1: every set flips the P-coin and the duelling monitors
+	// only observe (the mode bit is ignored).
+	Naive bool
+
+	r *rng.Source
+
+	// Saturating sample counters.
+	accPB, missPB     uint32
+	accBase, missBase uint32
+	satLimit          uint32
+
+	modeBypass bool
+	onStreak   int
+
+	// Diagnostics.
+	ModeFlips  uint64
+	Decisions  uint64
+	BypassedN  uint64
+	SampledPB  uint64
+	SampledBas uint64
+}
+
+// Constituency size: 1 of every 32 sets belongs to each monitor, matching
+// the paper's 512K-of-16M sampling ratio.
+const duelConstituency = 32
+
+// NewBAB creates the policy. satLimit is the access-counter saturation
+// threshold (65535 in the paper; smaller values adapt faster on scaled
+// runs). prob is the PB bypass probability.
+func NewBAB(prob float64, satLimit uint32, seed uint64) *BAB {
+	if satLimit == 0 {
+		satLimit = 1 << 16
+	}
+	return &BAB{Prob: prob, r: rng.New(seed), satLimit: satLimit}
+}
+
+// setClass returns 0 for PB-monitor sets, 1 for baseline-monitor sets, 2
+// for followers.
+func setClass(set uint64) int {
+	switch set % duelConstituency {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// RecordAccess feeds the duelling monitors with the outcome of a demand
+// access to the given set (miss=true if the DRAM cache missed).
+func (b *BAB) RecordAccess(set uint64, miss bool) {
+	switch setClass(set) {
+	case 0:
+		b.SampledPB++
+		b.accPB++
+		if miss {
+			b.missPB++
+		}
+	case 1:
+		b.SampledBas++
+		b.accBase++
+		if miss {
+			b.missBase++
+		}
+	default:
+		return
+	}
+	if b.accPB >= b.satLimit || b.accBase >= b.satLimit {
+		b.recompute()
+		b.accPB >>= 1
+		b.missPB >>= 1
+		b.accBase >>= 1
+		b.missBase >>= 1
+	}
+}
+
+// enableStreak is how many consecutive passing windows are required before
+// bypassing turns on. The paper's 16-bit windows are long enough to average
+// over program phases; scaled runs use shorter windows, so enabling is made
+// conservative (a failing window disables immediately) to preserve the
+// paper's property that BAB never degrades a workload.
+const enableStreak = 5
+
+// recompute re-evaluates the mode bit: keep bypassing while the PB monitor
+// retains at least 15/16 of the baseline monitor's hit rate.
+func (b *BAB) recompute() {
+	if b.accPB == 0 || b.accBase == 0 {
+		return
+	}
+	hitPB := 1 - float64(b.missPB)/float64(b.accPB)
+	hitBase := 1 - float64(b.missBase)/float64(b.accBase)
+	pass := hitPB >= hitBase*15/16
+	next := b.modeBypass
+	if !pass {
+		b.onStreak = 0
+		next = false
+	} else {
+		b.onStreak++
+		if b.onStreak >= enableStreak {
+			next = true
+		}
+	}
+	if next != b.modeBypass {
+		b.ModeFlips++
+	}
+	b.modeBypass = next
+}
+
+// ModeBypass reports the current global mode bit.
+func (b *BAB) ModeBypass() bool {
+	if b.Naive {
+		return true
+	}
+	return b.modeBypass
+}
+
+// ShouldBypass decides whether the Miss Fill for a miss in the given set
+// should be skipped. Sample sets always follow their own policy so the
+// monitors keep measuring both alternatives.
+func (b *BAB) ShouldBypass(set uint64) bool {
+	b.Decisions++
+	var usePB bool
+	switch {
+	case b.Naive:
+		usePB = true
+	case setClass(set) == 0:
+		usePB = true
+	case setClass(set) == 1:
+		usePB = false
+	default:
+		usePB = b.ModeBypass()
+	}
+	if !usePB {
+		return false
+	}
+	if b.r.Bool(b.Prob) {
+		b.BypassedN++
+		return true
+	}
+	return false
+}
+
+// StorageBytes returns the SRAM cost of the policy as accounted by Table 5:
+// 8 bytes of counters per thread.
+func (b *BAB) StorageBytes(threads int) int64 { return int64(8 * threads) }
+
+// MonitorPBMissRate reports the PB monitor's current miss rate (diagnostics).
+func (b *BAB) MonitorPBMissRate() float64 {
+	if b.accPB == 0 {
+		return 0
+	}
+	return float64(b.missPB) / float64(b.accPB)
+}
+
+// MonitorBaseMissRate reports the baseline monitor's current miss rate.
+func (b *BAB) MonitorBaseMissRate() float64 {
+	if b.accBase == 0 {
+		return 0
+	}
+	return float64(b.missBase) / float64(b.accBase)
+}
+
+// ResetMonitors clears the duelling counters (the simulator calls this at
+// the warm-up boundary so mode decisions reflect steady-state behaviour).
+// The mode bit itself is preserved.
+func (b *BAB) ResetMonitors() {
+	b.accPB, b.missPB, b.accBase, b.missBase = 0, 0, 0, 0
+}

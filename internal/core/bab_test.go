@@ -1,0 +1,127 @@
+package core
+
+import "testing"
+
+func TestSetClasses(t *testing.T) {
+	if setClass(0) != 0 || setClass(32) != 0 {
+		t.Error("sets 0 mod 32 should be PB monitors")
+	}
+	if setClass(1) != 1 || setClass(33) != 1 {
+		t.Error("sets 1 mod 32 should be baseline monitors")
+	}
+	if setClass(2) != 2 || setClass(31) != 2 {
+		t.Error("other sets should be followers")
+	}
+}
+
+func TestMonitorSetsAlwaysFollowOwnPolicy(t *testing.T) {
+	b := NewBAB(1.0, 1024, 1) // P = 1: PB sets always bypass
+	// Baseline monitor set never bypasses regardless of mode.
+	for i := 0; i < 100; i++ {
+		if b.ShouldBypass(1) {
+			t.Fatal("baseline monitor set bypassed")
+		}
+	}
+	// PB monitor set always bypasses with P=1.
+	for i := 0; i < 100; i++ {
+		if !b.ShouldBypass(0) {
+			t.Fatal("PB monitor set did not bypass with P=1")
+		}
+	}
+}
+
+func TestFollowersObeyModeBit(t *testing.T) {
+	b := NewBAB(1.0, 1024, 1)
+	// Initially the mode bit is off: followers fill.
+	if b.ShouldBypass(5) {
+		t.Fatal("follower bypassed with mode off")
+	}
+	b.modeBypass = true
+	if !b.ShouldBypass(5) {
+		t.Fatal("follower did not bypass with mode on and P=1")
+	}
+}
+
+func TestDuelEnablesBypassWhenHitRatesMatch(t *testing.T) {
+	b := NewBAB(0.9, 256, 1)
+	// Both monitors observe the same 50% miss rate: PB retains the full
+	// baseline hit rate, so bypassing should turn on.
+	for i := 0; i < 2000; i++ {
+		b.RecordAccess(0, i%2 == 0)
+		b.RecordAccess(1, i%2 == 0)
+	}
+	if !b.ModeBypass() {
+		t.Fatal("duel did not enable bypass despite equal hit rates")
+	}
+}
+
+func TestDuelDisablesBypassOnHitRateLoss(t *testing.T) {
+	b := NewBAB(0.9, 256, 1)
+	// PB monitor misses 60%, baseline 30%: PB hit rate 40% < (15/16)*70%.
+	i := 0
+	for ; i < 4000; i++ {
+		b.RecordAccess(0, i%5 < 3)  // 60% misses
+		b.RecordAccess(1, i%10 < 3) // 30% misses
+	}
+	if b.ModeBypass() {
+		t.Fatal("duel kept bypassing despite a large hit-rate loss")
+	}
+}
+
+func TestDuelToleratesSmallLoss(t *testing.T) {
+	b := NewBAB(0.9, 512, 1)
+	// Baseline hit rate 64%, PB hit rate 62%: within 15/16 bound
+	// (0.62 >= 0.64*0.9375 = 0.60) so bypassing continues. This is the
+	// core BAB idea: trade a bounded hit-rate loss for bandwidth.
+	for i := 0; i < 6000; i++ {
+		b.RecordAccess(0, i%100 < 38) // 38% misses
+		b.RecordAccess(1, i%100 < 36) // 36% misses
+	}
+	if !b.ModeBypass() {
+		t.Fatal("BAB disabled bypass for a within-bound hit-rate loss")
+	}
+}
+
+func TestCounterShiftOnSaturation(t *testing.T) {
+	b := NewBAB(0.9, 64, 1)
+	for i := 0; i < 200; i++ {
+		b.RecordAccess(0, true)
+		b.RecordAccess(1, false)
+	}
+	if b.accPB >= 64 || b.accBase >= 64 {
+		t.Fatalf("counters not shifted: accPB=%d accBase=%d", b.accPB, b.accBase)
+	}
+}
+
+func TestNaiveMode(t *testing.T) {
+	b := NewBAB(1.0, 1024, 1)
+	b.Naive = true
+	// Naive PB bypasses everywhere (P=1), including the baseline monitor.
+	for _, set := range []uint64{0, 1, 2, 17} {
+		if !b.ShouldBypass(set) {
+			t.Fatalf("naive PB did not bypass set %d", set)
+		}
+	}
+}
+
+func TestBypassProbability(t *testing.T) {
+	b := NewBAB(0.9, 1024, 1)
+	b.Naive = true
+	n, byp := 20000, 0
+	for i := 0; i < n; i++ {
+		if b.ShouldBypass(7) {
+			byp++
+		}
+	}
+	got := float64(byp) / float64(n)
+	if got < 0.88 || got > 0.92 {
+		t.Fatalf("bypass rate = %.3f, want about 0.9", got)
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	b := NewBAB(0.9, 0, 1)
+	if got := b.StorageBytes(8); got != 64 {
+		t.Fatalf("BAB storage = %d bytes, want 64 (Table 5)", got)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+// DeadBlock is a sampling-dead-block-style bypass predictor (Khan et al.,
+// MICRO 2010), the class of prior work Section 9.2 of the BEAR paper
+// compares BAB against. Fills are tagged with a signature of the missing
+// instruction's PC; when a line is evicted, the predictor learns whether it
+// was ever reused. Fills whose signature is predicted dead are bypassed.
+//
+// Unlike BAB, the scheme optimises hit rate rather than bandwidth, and in a
+// DRAM cache it needs a reuse-status update in the in-DRAM tag on the first
+// hit to a line — an extra DRAM write the paper calls out as a hidden cost.
+// The abl-deadblock experiment quantifies both properties.
+type DeadBlock struct {
+	table     []uint8 // 2-bit saturating dead counters, indexed by signature
+	threshold uint8
+
+	// Diagnostics.
+	Trainings uint64
+	DeadPred  uint64
+}
+
+// NewDeadBlock builds a predictor with the given table size (entries must
+// be a power of two) and deadness threshold (counter >= threshold predicts
+// dead; 2 is the usual midpoint of a 2-bit counter).
+func NewDeadBlock(entries int, threshold uint8) *DeadBlock {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("core: dead-block table size must be a power of two")
+	}
+	return &DeadBlock{table: make([]uint8, entries), threshold: threshold}
+}
+
+// Signature hashes a PC into a table index.
+func (d *DeadBlock) Signature(pc uint64) uint16 {
+	x := pc * 0x9e3779b97f4a7c15
+	return uint16((x >> 48) & uint64(len(d.table)-1))
+}
+
+// PredictDead reports whether fills from this signature should be bypassed.
+func (d *DeadBlock) PredictDead(sig uint16) bool {
+	dead := d.table[sig] >= d.threshold
+	if dead {
+		d.DeadPred++
+	}
+	return dead
+}
+
+// Train records the fate of an evicted line filled under sig.
+func (d *DeadBlock) Train(sig uint16, reused bool) {
+	d.Trainings++
+	c := &d.table[sig]
+	if reused {
+		if *c > 0 {
+			*c--
+		}
+	} else if *c < 3 {
+		*c++
+	}
+}

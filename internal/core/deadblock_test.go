@@ -1,0 +1,61 @@
+package core
+
+import "testing"
+
+func TestDeadBlockLearning(t *testing.T) {
+	d := NewDeadBlock(256, 2)
+	sig := d.Signature(0x1234)
+	if d.PredictDead(sig) {
+		t.Fatal("untrained predictor predicts dead")
+	}
+	d.Train(sig, false)
+	d.Train(sig, false)
+	if !d.PredictDead(sig) {
+		t.Fatal("two dead evictions did not cross the threshold")
+	}
+	d.Train(sig, true)
+	if d.PredictDead(sig) {
+		t.Fatal("a reuse did not pull the counter back")
+	}
+}
+
+func TestDeadBlockSaturation(t *testing.T) {
+	d := NewDeadBlock(256, 2)
+	sig := d.Signature(0x42)
+	for i := 0; i < 10; i++ {
+		d.Train(sig, false)
+	}
+	if d.table[sig] != 3 {
+		t.Fatalf("counter = %d, want saturated at 3", d.table[sig])
+	}
+	for i := 0; i < 10; i++ {
+		d.Train(sig, true)
+	}
+	if d.table[sig] != 0 {
+		t.Fatalf("counter = %d, want 0", d.table[sig])
+	}
+}
+
+func TestDeadBlockSignatureStable(t *testing.T) {
+	d := NewDeadBlock(4096, 2)
+	if d.Signature(100) != d.Signature(100) {
+		t.Fatal("signature not deterministic")
+	}
+	// Different PCs should mostly map to different entries.
+	seen := map[uint16]bool{}
+	for pc := uint64(0); pc < 64; pc++ {
+		seen[d.Signature(0x1000+pc*4)] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("only %d distinct signatures for 64 PCs", len(seen))
+	}
+}
+
+func TestDeadBlockBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two size did not panic")
+		}
+	}()
+	NewDeadBlock(100, 2)
+}

@@ -1,0 +1,81 @@
+package core
+
+// DIP implements Dynamic Insertion Policy (Qureshi, Jaleel, Patt, Steely,
+// Emer — ISCA 2007, the paper's reference [13], and the origin of the
+// set-dueling machinery BAB reuses). Two sampled set groups duel: one
+// always inserts at MRU (conventional LRU insertion), the other uses
+// Bimodal Insertion (inserts at LRU except for 1-in-32 fills). A policy
+// selector counter, bumped by sample-set misses, steers the follower sets
+// toward whichever policy misses less. Thrashing workloads keep their
+// working set resident under BIP; recency-friendly ones stay on LRU.
+type DIP struct {
+	psel    int32
+	pselMax int32
+	bipCtr  uint32
+
+	// Diagnostics.
+	LRUSampleMisses uint64
+	BIPSampleMisses uint64
+}
+
+// bipEpsilon is the 1-in-N rate at which BIP still inserts at MRU.
+const bipEpsilon = 32
+
+// NewDIP builds the policy; pselMax bounds the selector (1024 in the
+// original paper).
+func NewDIP(pselMax int32) *DIP {
+	if pselMax <= 0 {
+		pselMax = 1024
+	}
+	return &DIP{pselMax: pselMax}
+}
+
+// dipClass returns 0 for LRU-sample sets, 1 for BIP-sample sets, 2 for
+// followers (1/32 of sets per monitor, like BAB's duel).
+func dipClass(set uint64) int {
+	switch set % 32 {
+	case 2: // distinct from BAB's monitors (0 and 1) so the duels never overlap
+		return 0
+	case 3:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// RecordMiss feeds the selector with a demand miss to the given set.
+func (d *DIP) RecordMiss(set uint64) {
+	switch dipClass(set) {
+	case 0: // LRU sample missed: BIP looks better
+		d.LRUSampleMisses++
+		if d.psel < d.pselMax {
+			d.psel++
+		}
+	case 1: // BIP sample missed: LRU looks better
+		d.BIPSampleMisses++
+		if d.psel > -d.pselMax {
+			d.psel--
+		}
+	}
+}
+
+// InsertAtMRU decides the insertion position for a fill into the set.
+func (d *DIP) InsertAtMRU(set uint64) bool {
+	useBIP := false
+	switch dipClass(set) {
+	case 0:
+		useBIP = false
+	case 1:
+		useBIP = true
+	default:
+		useBIP = d.psel > 0
+	}
+	if !useBIP {
+		return true
+	}
+	d.bipCtr++
+	return d.bipCtr%bipEpsilon == 0
+}
+
+// PreferringBIP reports the followers' current policy (diagnostics).
+func (d *DIP) PreferringBIP() bool { return d.psel > 0 }

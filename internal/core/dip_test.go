@@ -1,0 +1,87 @@
+package core
+
+import "testing"
+
+func TestDIPClassesDisjointFromBAB(t *testing.T) {
+	// The DIP monitors must not overlap BAB's (sets 0 and 1 mod 32).
+	if dipClass(0) != 2 || dipClass(1) != 2 {
+		t.Fatal("DIP monitors collide with BAB monitors")
+	}
+	if dipClass(2) != 0 || dipClass(34) != 0 {
+		t.Fatal("LRU sample sets wrong")
+	}
+	if dipClass(3) != 1 || dipClass(35) != 1 {
+		t.Fatal("BIP sample sets wrong")
+	}
+}
+
+func TestDIPSelectsBIPUnderThrash(t *testing.T) {
+	d := NewDIP(64)
+	// LRU sample sets miss constantly, BIP samples don't: followers
+	// should switch to BIP insertion.
+	for i := 0; i < 200; i++ {
+		d.RecordMiss(2) // LRU sample miss
+	}
+	if !d.PreferringBIP() {
+		t.Fatal("selector did not move toward BIP")
+	}
+	// Followers now mostly insert at LRU (BIP), except the 1/32 epsilon.
+	mru := 0
+	for i := 0; i < 320; i++ {
+		if d.InsertAtMRU(10) {
+			mru++
+		}
+	}
+	if mru == 0 || mru > 320/16 {
+		t.Fatalf("BIP epsilon rate = %d/320", mru)
+	}
+}
+
+func TestDIPSelectsLRUForRecencyFriendly(t *testing.T) {
+	d := NewDIP(64)
+	for i := 0; i < 200; i++ {
+		d.RecordMiss(3) // BIP sample miss
+	}
+	if d.PreferringBIP() {
+		t.Fatal("selector moved to BIP despite BIP sample misses")
+	}
+	if !d.InsertAtMRU(10) {
+		t.Fatal("followers should insert at MRU under LRU preference")
+	}
+}
+
+func TestDIPSampleSetsPinned(t *testing.T) {
+	d := NewDIP(64)
+	// Regardless of the selector, sample sets follow their own policy.
+	for i := 0; i < 100; i++ {
+		d.RecordMiss(2)
+	}
+	if !d.InsertAtMRU(2) {
+		t.Fatal("LRU sample set did not insert at MRU")
+	}
+	bipMRU := 0
+	for i := 0; i < 64; i++ {
+		if d.InsertAtMRU(3) {
+			bipMRU++
+		}
+	}
+	if bipMRU > 4 {
+		t.Fatalf("BIP sample set inserted at MRU %d/64 times", bipMRU)
+	}
+}
+
+func TestDIPSelectorSaturates(t *testing.T) {
+	d := NewDIP(8)
+	for i := 0; i < 100; i++ {
+		d.RecordMiss(2)
+	}
+	if d.psel != 8 {
+		t.Fatalf("psel = %d, want saturated at 8", d.psel)
+	}
+	for i := 0; i < 100; i++ {
+		d.RecordMiss(3)
+	}
+	if d.psel != -8 {
+		t.Fatalf("psel = %d, want saturated at -8", d.psel)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+// NTC is the Neighboring Tag Cache (Section 6). The Alloy cache lays
+// consecutive sets in the same 2 KB row and its 80 B bursts carry the tag
+// of the next set for free (the bus moves 16 B granules but a TAD is 72 B).
+// The NTC banks an 8-entry fully-associative buffer per DRAM-cache bank
+// that records those neighbour tags. On an LLC miss:
+//
+//   - set-index match + tag match   -> line guaranteed present
+//   - set-index match + tag mismatch -> line guaranteed absent (the Miss
+//     Probe can be skipped unless the resident line is dirty, in which case
+//     the probe is still needed to recover the victim's data)
+//   - no set-index match            -> no guarantee; probe as usual
+//
+// Entries are kept coherent: fills and evictions update any entry tracking
+// the affected set.
+type NTC struct {
+	entriesPerBank int
+	banks          []ntcBank
+
+	// Diagnostics.
+	Lookups   uint64
+	HitsKnown uint64 // lookups answered (present or absent)
+}
+
+type ntcBank struct {
+	entries []ntcEntry
+	clock   uint64
+}
+
+type ntcEntry struct {
+	inUse     bool
+	set       uint64
+	lineValid bool   // the tracked set holds a valid line
+	line      uint64 // the resident line's address (when lineValid)
+	lineDirty bool
+	used      uint64 // LRU stamp
+}
+
+// Answer is the NTC's response to a presence query.
+type Answer struct {
+	Known     bool
+	Present   bool // valid when Known
+	LineDirty bool // resident line's dirty state (valid when Known && !Present && a line is resident)
+	HasLine   bool // a valid (different) line is resident in the set
+}
+
+// NewNTC builds an NTC covering totalBanks DRAM-cache banks with
+// entriesPerBank entries each (8 in the paper).
+func NewNTC(totalBanks, entriesPerBank int) *NTC {
+	n := &NTC{entriesPerBank: entriesPerBank, banks: make([]ntcBank, totalBanks)}
+	for i := range n.banks {
+		n.banks[i].entries = make([]ntcEntry, entriesPerBank)
+	}
+	return n
+}
+
+// Lookup queries bank's NTC for the given set and demand line.
+func (n *NTC) Lookup(bank int, set, line uint64) Answer {
+	n.Lookups++
+	b := &n.banks[bank]
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.inUse && e.set == set {
+			b.clock++
+			e.used = b.clock
+			n.HitsKnown++
+			if e.lineValid && e.line == line {
+				return Answer{Known: true, Present: true}
+			}
+			return Answer{Known: true, Present: false, HasLine: e.lineValid, LineDirty: e.lineValid && e.lineDirty}
+		}
+	}
+	return Answer{}
+}
+
+// Deposit records (or refreshes) the contents of a set observed on the bus:
+// the set currently holds line (lineValid=false for an empty set).
+func (n *NTC) Deposit(bank int, set uint64, lineValid bool, line uint64, dirty bool) {
+	b := &n.banks[bank]
+	b.clock++
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.inUse && e.set == set {
+			e.lineValid, e.line, e.lineDirty, e.used = lineValid, line, dirty, b.clock
+			return
+		}
+	}
+	var victim *ntcEntry
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.inUse {
+			victim = e
+			break
+		}
+		if victim == nil || e.used < victim.used {
+			victim = e
+		}
+	}
+	*victim = ntcEntry{inUse: true, set: set, lineValid: lineValid, line: line, lineDirty: dirty, used: b.clock}
+}
+
+// Sync updates an existing entry for set without allocating a new one. It
+// is the coherence path invoked on fills, writeback updates and evictions so
+// stale NTC entries never mis-answer.
+func (n *NTC) Sync(bank int, set uint64, lineValid bool, line uint64, dirty bool) {
+	b := &n.banks[bank]
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.inUse && e.set == set {
+			e.lineValid, e.line, e.lineDirty = lineValid, line, dirty
+			return
+		}
+	}
+}
+
+// StorageBytes returns the SRAM cost per Table 5: 44 bytes per bank.
+func (n *NTC) StorageBytes() int64 { return int64(44 * len(n.banks)) }

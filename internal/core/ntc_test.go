@@ -1,0 +1,143 @@
+package core
+
+import "testing"
+
+func TestNTCUnknownWhenEmpty(t *testing.T) {
+	n := NewNTC(4, 8)
+	if ans := n.Lookup(0, 100, 1); ans.Known {
+		t.Fatal("empty NTC returned a known answer")
+	}
+}
+
+func TestNTCPresent(t *testing.T) {
+	n := NewNTC(4, 8)
+	n.Deposit(2, 100, true, 777, false)
+	ans := n.Lookup(2, 100, 777)
+	if !ans.Known || !ans.Present {
+		t.Fatalf("lookup = %+v, want known present", ans)
+	}
+}
+
+func TestNTCAbsent(t *testing.T) {
+	n := NewNTC(4, 8)
+	n.Deposit(2, 100, true, 777, false)
+	ans := n.Lookup(2, 100, 888)
+	if !ans.Known || ans.Present {
+		t.Fatalf("lookup = %+v, want known absent", ans)
+	}
+	if !ans.HasLine || ans.LineDirty {
+		t.Fatalf("resident-line info wrong: %+v", ans)
+	}
+}
+
+func TestNTCAbsentDirtyResident(t *testing.T) {
+	n := NewNTC(4, 8)
+	n.Deposit(0, 50, true, 123, true)
+	ans := n.Lookup(0, 50, 456)
+	if !ans.Known || ans.Present || !ans.LineDirty {
+		t.Fatalf("lookup = %+v, want known-absent with dirty resident", ans)
+	}
+}
+
+func TestNTCEmptySetAnswer(t *testing.T) {
+	n := NewNTC(4, 8)
+	n.Deposit(0, 60, false, 0, false) // tracked set is empty
+	ans := n.Lookup(0, 60, 9)
+	if !ans.Known || ans.Present || ans.HasLine {
+		t.Fatalf("lookup = %+v, want known-absent with no resident line", ans)
+	}
+}
+
+func TestNTCBankIsolation(t *testing.T) {
+	n := NewNTC(4, 8)
+	n.Deposit(1, 100, true, 777, false)
+	if ans := n.Lookup(0, 100, 777); ans.Known {
+		t.Fatal("NTC answered from the wrong bank")
+	}
+}
+
+func TestNTCLRUEviction(t *testing.T) {
+	n := NewNTC(1, 2)
+	n.Deposit(0, 1, true, 11, false)
+	n.Deposit(0, 2, true, 22, false)
+	n.Lookup(0, 1, 11) // refresh set 1
+	n.Deposit(0, 3, true, 33, false)
+	if ans := n.Lookup(0, 2, 22); ans.Known {
+		t.Fatal("LRU entry (set 2) survived")
+	}
+	if ans := n.Lookup(0, 1, 11); !ans.Known {
+		t.Fatal("MRU entry (set 1) was evicted")
+	}
+}
+
+func TestNTCDepositUpdatesExisting(t *testing.T) {
+	n := NewNTC(1, 8)
+	n.Deposit(0, 5, true, 10, false)
+	n.Deposit(0, 5, true, 20, true)
+	ans := n.Lookup(0, 5, 20)
+	if !ans.Known || !ans.Present {
+		t.Fatalf("updated entry lookup = %+v", ans)
+	}
+	// Only one entry should track set 5: depositing twice then evicting
+	// via other sets should not resurrect the old tag.
+	ans = n.Lookup(0, 5, 10)
+	if ans.Present {
+		t.Fatal("stale tag still answers present")
+	}
+}
+
+func TestNTCSync(t *testing.T) {
+	n := NewNTC(1, 8)
+	n.Sync(0, 5, true, 10, false) // no entry: no-op
+	if ans := n.Lookup(0, 5, 10); ans.Known {
+		t.Fatal("Sync allocated an entry")
+	}
+	n.Deposit(0, 5, true, 10, false)
+	n.Sync(0, 5, true, 99, true)
+	ans := n.Lookup(0, 5, 99)
+	if !ans.Known || !ans.Present {
+		t.Fatalf("post-sync lookup = %+v", ans)
+	}
+}
+
+func TestNTCStorage(t *testing.T) {
+	n := NewNTC(64, 8)
+	if got := n.StorageBytes(); got != 64*44 {
+		t.Fatalf("NTC storage = %d, want %d (Table 5: 44 B/bank)", got, 64*44)
+	}
+}
+
+func TestPresence(t *testing.T) {
+	if PresenceFromAux(DCPBit) != PresPresent {
+		t.Error("set DCP bit should mean present")
+	}
+	if PresenceFromAux(0) != PresAbsent {
+		t.Error("clear DCP bit should mean absent")
+	}
+	for _, p := range []Presence{PresUnknown, PresPresent, PresAbsent} {
+		if p.String() == "" {
+			t.Error("empty presence name")
+		}
+	}
+}
+
+func TestOverheadTable5(t *testing.T) {
+	// Full-scale machine: 8 threads, 8MB/64B LLC lines, 64 banks.
+	o := ComputeOverhead(8, (8<<20)/64, 64)
+	if o.BABBytes != 64 {
+		t.Errorf("BAB = %d, want 64 B", o.BABBytes)
+	}
+	if o.DCPBytes != 16<<10 {
+		t.Errorf("DCP = %d, want 16 KB", o.DCPBytes)
+	}
+	if o.NTCBytes != 64*44 {
+		t.Errorf("NTC = %d, want %d", o.NTCBytes, 64*44)
+	}
+	// Paper: "19.2K bytes" (decimal K): 64 + 16384 + 2816 = 19264.
+	if total := o.Total(); total != 19264 {
+		t.Errorf("total = %d, want 19264 (the paper's 19.2K bytes)", total)
+	}
+	if o.String() == "" {
+		t.Error("empty overhead string")
+	}
+}

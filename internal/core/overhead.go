@@ -1,0 +1,33 @@
+package core
+
+import "fmt"
+
+// Overhead itemises BEAR's SRAM storage cost as in Table 5 of the paper.
+type Overhead struct {
+	BABBytes int64 // duelling counters: 8 B per thread
+	DCPBytes int64 // one bit per LLC line
+	NTCBytes int64 // 44 B per DRAM-cache bank
+}
+
+// ComputeOverhead evaluates Table 5 for a machine with the given number of
+// hardware threads, LLC lines and DRAM-cache banks.
+func ComputeOverhead(threads int, llcLines int64, l4Banks int) Overhead {
+	return Overhead{
+		BABBytes: int64(8 * threads),
+		DCPBytes: (llcLines + 7) / 8,
+		NTCBytes: int64(44 * l4Banks),
+	}
+}
+
+// Total returns the summed overhead in bytes.
+func (o Overhead) Total() int64 { return o.BABBytes + o.DCPBytes + o.NTCBytes }
+
+// String renders the Table 5 rows.
+func (o Overhead) String() string {
+	return fmt.Sprintf(
+		"Bandwidth-Aware Bypass    %6d bytes\n"+
+			"DRAM Cache Presence       %6d bytes\n"+
+			"Neighboring Tag Cache     %6d bytes\n"+
+			"Total                     %6d bytes (%.1f KB)",
+		o.BABBytes, o.DCPBytes, o.NTCBytes, o.Total(), float64(o.Total())/1024)
+}

@@ -1,0 +1,52 @@
+// Package core implements the three BEAR components from the paper:
+//
+//   - BAB, Bandwidth-Aware Bypass (Section 4): set-dueling between a
+//     probabilistic bypass policy and conventional always-fill, bounded so
+//     bypassing may cost at most 1/16 of the baseline hit rate.
+//   - DCP, DRAM-Cache Presence (Section 5): a one-bit-per-LLC-line tracker
+//     that tells writebacks whether their line is resident in the DRAM
+//     cache, eliminating Writeback Probes.
+//   - NTC, Neighboring Tag Cache (Section 6): a small per-bank buffer of
+//     the neighbour tags that every Alloy-cache burst carries for free,
+//     answering presence queries and eliminating Miss Probes.
+//
+// The components are policy objects: they hold no bus or DRAM state and are
+// driven by the DRAM-cache design in internal/dramcache.
+package core
+
+// Presence is the answer DCP (or any other residency tracker) gives about a
+// line's membership in the DRAM cache.
+type Presence uint8
+
+const (
+	// PresUnknown means no residency information is available; correctness
+	// requires a probe.
+	PresUnknown Presence = iota
+	// PresPresent guarantees the line is in the DRAM cache.
+	PresPresent
+	// PresAbsent guarantees the line is not in the DRAM cache.
+	PresAbsent
+)
+
+func (p Presence) String() string {
+	switch p {
+	case PresPresent:
+		return "present"
+	case PresAbsent:
+		return "absent"
+	default:
+		return "unknown"
+	}
+}
+
+// DCPBit encodes the DRAM-Cache Presence bit in an SRAM line's aux byte.
+const DCPBit uint8 = 1 << 0
+
+// PresenceFromAux converts an LLC line's aux byte to a Presence answer,
+// given that the DCP mechanism is enabled and the aux byte is maintained.
+func PresenceFromAux(aux uint8) Presence {
+	if aux&DCPBit != 0 {
+		return PresPresent
+	}
+	return PresAbsent
+}

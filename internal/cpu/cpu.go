@@ -1,0 +1,265 @@
+// Package cpu models the processor cores. Each core is a 2-wide
+// interval-style model: instructions retire at the configured width, loads
+// may overlap up to the MSHR limit, and the core may run ahead of its oldest
+// incomplete load by at most the window size (an ROB approximation). Stores
+// are non-blocking (posted into the hierarchy).
+//
+// The model is event-driven: a core simulates forward in short quanta and
+// yields to the event queue, waking again when simulated time catches up or
+// when a blocking load completes. This exposes memory-level parallelism —
+// the property that makes DRAM-cache bandwidth, not just latency, determine
+// performance — without per-cycle pipeline simulation.
+package cpu
+
+import (
+	"bear/internal/config"
+	"bear/internal/event"
+	"bear/internal/trace"
+)
+
+// MemPort is the cache hierarchy as seen by a core.
+type MemPort interface {
+	// Load issues a load for a line address. If the port can bound the
+	// completion time immediately (an on-chip hit), it returns
+	// (completeAt, true) and will not call done. Otherwise it returns
+	// (0, false) and invokes done exactly once, later, from the event
+	// queue.
+	Load(now uint64, core int, line, pc uint64, done event.Func) (completeAt uint64, sync bool)
+	// Store issues a posted store for a line address.
+	Store(now uint64, core int, line, pc uint64)
+}
+
+// quantum bounds how far a core simulates ahead of global time before
+// yielding to the event queue, keeping cross-core interleaving in the shared
+// caches close to timestamp order.
+const quantum = 32
+
+type pendingLoad struct {
+	idx        uint64 // instruction number of the load
+	completeAt uint64 // valid when !pending
+	pending    bool   // true while waiting for an async callback
+}
+
+// Core simulates one processor core.
+type Core struct {
+	ID  int
+	cfg config.Core
+
+	q    *event.Queue
+	src  trace.Source
+	port MemPort
+
+	warmBudget  uint64
+	measBudget  uint64
+	retired     uint64
+	time        uint64 // core-local time, >= q.Now() when running
+	outstanding []pendingLoad
+	inflight    int // outstanding entries still pending or not yet complete
+
+	op      trace.Op
+	opValid bool
+
+	warmed   bool
+	MarkTime uint64 // cycle at which the core crossed its warm boundary
+
+	Finished bool
+	FinishAt uint64
+
+	onWarm   func(core int)
+	onFinish func(core int, now uint64)
+
+	running bool
+
+	// Stall diagnostics.
+	StallCycles uint64
+}
+
+// New creates a core that will retire warm+meas instructions from src.
+func New(id int, cfg config.Core, q *event.Queue, src trace.Source, port MemPort,
+	warm, meas uint64, onWarm func(int), onFinish func(int, uint64)) *Core {
+	return &Core{
+		ID: id, cfg: cfg, q: q, src: src, port: port,
+		warmBudget: warm, measBudget: meas,
+		onWarm: onWarm, onFinish: onFinish,
+	}
+}
+
+// Retired returns the instructions retired so far.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// MeasuredInstructions returns instructions retired after the warm boundary,
+// capped at the measurement budget (cores keep executing past the budget to
+// sustain load, but the extra instructions are not measured).
+func (c *Core) MeasuredInstructions() uint64 {
+	if !c.warmed {
+		return 0
+	}
+	n := c.retired - c.warmBudget
+	if n > c.measBudget {
+		n = c.measBudget
+	}
+	return n
+}
+
+// IPC returns the measured-phase instructions per cycle (valid once
+// finished).
+func (c *Core) IPC() float64 {
+	if !c.Finished || c.FinishAt <= c.MarkTime {
+		return 0
+	}
+	return float64(c.MeasuredInstructions()) / float64(c.FinishAt-c.MarkTime)
+}
+
+// Start schedules the core's first execution slice.
+func (c *Core) Start() {
+	c.q.At(c.q.Now(), func(now uint64) { c.run(now) })
+}
+
+// run advances the core until it must wait for a load or yields its
+// quantum. It is the single state machine for the core and is re-invoked by
+// timer wakeups and load-completion callbacks.
+//
+// A core that exhausts its instruction budget keeps executing (its later
+// instructions are not counted): rate-mode measurement ends when the
+// slowest core completes its budget, and the fast cores must keep loading
+// the shared memory system until then so contention stays realistic.
+func (c *Core) run(now uint64) {
+	if c.running {
+		return
+	}
+	c.running = true
+	defer func() { c.running = false }()
+
+	if c.time < now {
+		c.time = now
+	}
+	for {
+		c.popCompleted()
+
+		total := c.warmBudget + c.measBudget
+		if !c.Finished && c.retired >= total {
+			c.finish()
+		}
+		if !c.warmed && c.retired >= c.warmBudget {
+			c.warmed = true
+			c.MarkTime = c.time
+			if c.onWarm != nil {
+				c.onWarm(c.ID)
+			}
+		}
+
+		// Stall checks. A full MSHR file or exhausted window blocks issue
+		// until the relevant load completes.
+		if c.inflight >= c.cfg.MSHRs {
+			c.waitForLoads(true)
+			return
+		}
+		if len(c.outstanding) > 0 && c.retired-c.outstanding[0].idx >= uint64(c.cfg.Window) {
+			c.waitForLoads(false)
+			return
+		}
+
+		if !c.opValid {
+			c.src.Next(&c.op)
+			c.opValid = true
+		}
+		op := c.op
+		c.opValid = false
+
+		// Charge front-end throughput for the non-memory instructions plus
+		// the memory instruction itself.
+		instrs := uint64(op.NonMem) + 1
+		c.time += (instrs + uint64(c.cfg.Width) - 1) / uint64(c.cfg.Width)
+		c.retired += instrs
+
+		if op.Store {
+			c.port.Store(c.time, c.ID, op.Line, op.PC)
+		} else {
+			idx := c.retired
+			completeAt, sync := c.port.Load(c.time, c.ID, op.Line, op.PC, c.loadDone(idx))
+			if sync && completeAt <= c.time {
+				// Already satisfied; nothing outstanding.
+			} else {
+				c.outstanding = append(c.outstanding, pendingLoad{idx: idx, completeAt: completeAt, pending: !sync})
+				c.inflight++
+			}
+		}
+
+		if c.time > now+quantum {
+			// Yield; resume when global time catches up.
+			c.q.At(c.time, func(t uint64) { c.run(t) })
+			return
+		}
+	}
+}
+
+// loadDone returns the completion callback for the load issued as
+// instruction idx.
+func (c *Core) loadDone(idx uint64) event.Func {
+	return func(now uint64) {
+		for i := range c.outstanding {
+			if c.outstanding[i].idx == idx && c.outstanding[i].pending {
+				c.outstanding[i].pending = false
+				c.outstanding[i].completeAt = now
+				break
+			}
+		}
+		c.run(now)
+	}
+}
+
+// popCompleted releases finished loads in program order and retires their
+// MSHR slots (MSHRs free on completion regardless of order).
+func (c *Core) popCompleted() {
+	live := 0
+	for _, p := range c.outstanding {
+		if p.pending || p.completeAt > c.time {
+			live++
+		}
+	}
+	c.inflight = live
+	for len(c.outstanding) > 0 {
+		p := c.outstanding[0]
+		if p.pending || p.completeAt > c.time {
+			break
+		}
+		c.outstanding = c.outstanding[1:]
+	}
+}
+
+// waitForLoads schedules the core's resumption: if any blocking entry has a
+// known completion time it wakes then; async completions re-invoke run via
+// their callbacks. anyLoad selects between MSHR stalls (any completion
+// helps) and window stalls (only the oldest helps).
+func (c *Core) waitForLoads(anyLoad bool) {
+	stallFrom := c.time
+	var wake uint64
+	haveWake := false
+	if anyLoad {
+		for _, p := range c.outstanding {
+			if !p.pending && p.completeAt > c.time {
+				if !haveWake || p.completeAt < wake {
+					wake, haveWake = p.completeAt, true
+				}
+			}
+		}
+	} else if len(c.outstanding) > 0 {
+		p := c.outstanding[0]
+		if !p.pending {
+			wake, haveWake = p.completeAt, true
+		}
+	}
+	if haveWake {
+		c.StallCycles += wake - stallFrom
+		c.q.At(wake, func(t uint64) { c.run(t) })
+	}
+	// Otherwise a pending callback will resume us.
+}
+
+func (c *Core) finish() {
+	c.Finished = true
+	c.FinishAt = c.time
+	if c.onFinish != nil {
+		c.onFinish(c.ID, c.time)
+	}
+}

@@ -1,0 +1,276 @@
+package cpu
+
+import (
+	"testing"
+
+	"bear/internal/config"
+	"bear/internal/event"
+	"bear/internal/trace"
+)
+
+// scriptSource replays a fixed op list, then repeats the last op forever.
+type scriptSource struct {
+	ops []trace.Op
+	pos int
+}
+
+func (s *scriptSource) Next(op *trace.Op) {
+	if s.pos < len(s.ops) {
+		*op = s.ops[s.pos]
+		s.pos++
+		return
+	}
+	*op = s.ops[len(s.ops)-1]
+}
+
+// fakePort services loads with a fixed latency, tracking concurrency.
+type fakePort struct {
+	q       *event.Queue
+	latency uint64
+	sync    bool
+
+	inFlight    int
+	maxInFlight int
+	loads       int
+	stores      int
+}
+
+func (p *fakePort) Load(now uint64, core int, line, pc uint64, done event.Func) (uint64, bool) {
+	p.loads++
+	if p.sync {
+		return now + p.latency, true
+	}
+	p.inFlight++
+	if p.inFlight > p.maxInFlight {
+		p.maxInFlight = p.inFlight
+	}
+	p.q.At(now+p.latency, func(t uint64) {
+		p.inFlight--
+		done(t)
+	})
+	return 0, false
+}
+
+func (p *fakePort) Store(now uint64, core int, line, pc uint64) { p.stores++ }
+
+func cfg() config.Core { return config.Core{Count: 1, Width: 2, Window: 64, MSHRs: 4} }
+
+func run(t *testing.T, src trace.Source, port MemPort, warm, meas uint64) (*Core, *event.Queue) {
+	t.Helper()
+	q := &event.Queue{}
+	finished := false
+	c := New(0, cfg(), q, src, port, warm, meas, nil, func(int, uint64) { finished = true })
+	c.Start()
+	q.Run(func() bool { return finished })
+	if !c.Finished {
+		t.Fatal("core did not finish")
+	}
+	return c, q
+}
+
+func loadOp(nonMem uint32) trace.Op { return trace.Op{NonMem: nonMem, Line: 1, PC: 4} }
+
+func TestWidthBoundsIPC(t *testing.T) {
+	// All loads hit instantly (latency 1): IPC should approach the width.
+	src := &scriptSource{ops: []trace.Op{loadOp(3)}}
+	q := &event.Queue{}
+	port := &fakePort{q: q, latency: 1, sync: true}
+	finished := false
+	c := New(0, cfg(), q, src, port, 0, 10000, nil, func(int, uint64) { finished = true })
+	c.Start()
+	q.Run(func() bool { return finished })
+	ipc := c.IPC()
+	if ipc > 2.0 || ipc < 1.8 {
+		t.Fatalf("IPC = %.2f, want close to width 2", ipc)
+	}
+}
+
+func TestStallOnSlowLoads(t *testing.T) {
+	src := &scriptSource{ops: []trace.Op{loadOp(0)}}
+	q := &event.Queue{}
+	port := &fakePort{q: q, latency: 500}
+	finished := false
+	c := New(0, cfg(), q, src, port, 0, 1000, nil, func(int, uint64) { finished = true })
+	c.Start()
+	q.Run(func() bool { return finished })
+	// 1000 instructions of back-to-back 500-cycle loads with MSHRs=4 and
+	// window 64: the core must be memory bound, far below width IPC.
+	if ipc := c.IPC(); ipc > 0.5 {
+		t.Fatalf("IPC = %.2f under 500-cycle loads, expected memory-bound", ipc)
+	}
+}
+
+func TestMSHRLimitRespected(t *testing.T) {
+	src := &scriptSource{ops: []trace.Op{loadOp(0)}}
+	q := &event.Queue{}
+	port := &fakePort{q: q, latency: 300}
+	finished := false
+	c := New(0, cfg(), q, src, port, 0, 2000, nil, func(int, uint64) { finished = true })
+	c.Start()
+	q.Run(func() bool { return finished })
+	if port.maxInFlight > cfg().MSHRs {
+		t.Fatalf("max in-flight loads = %d, exceeds MSHRs = %d", port.maxInFlight, cfg().MSHRs)
+	}
+	if port.maxInFlight < 2 {
+		t.Fatalf("max in-flight = %d; the core exposed no MLP", port.maxInFlight)
+	}
+}
+
+func TestWindowLimitsRunahead(t *testing.T) {
+	// One very slow load followed by fast non-memory work: the core may
+	// run ahead at most Window instructions.
+	ops := []trace.Op{loadOp(0)}
+	for i := 0; i < 100; i++ {
+		ops = append(ops, trace.Op{NonMem: 200, Line: 2, PC: 8, Store: true})
+	}
+	src := &scriptSource{ops: ops}
+	q := &event.Queue{}
+	port := &fakePort{q: q, latency: 10000}
+	finished := false
+	c := New(0, cfg(), q, src, port, 0, 5000, nil, func(int, uint64) { finished = true })
+	c.Start()
+	q.RunUntil(5000)
+	// At time 5000 the first load (latency 10000) is outstanding; the
+	// core may not have retired more than Window + one op's worth.
+	if c.Retired() > uint64(cfg().Window)+201 {
+		t.Fatalf("retired %d instructions past a blocking load, window is %d",
+			c.Retired(), cfg().Window)
+	}
+	q.Run(func() bool { return finished })
+}
+
+func TestStoresNonBlocking(t *testing.T) {
+	ops := []trace.Op{{NonMem: 0, Line: 3, PC: 4, Store: true}}
+	src := &scriptSource{ops: ops}
+	q := &event.Queue{}
+	port := &fakePort{q: q, latency: 100000}
+	finished := false
+	c := New(0, cfg(), q, src, port, 0, 1000, nil, func(int, uint64) { finished = true })
+	c.Start()
+	q.Run(func() bool { return finished })
+	if c.FinishAt > 1200 {
+		t.Fatalf("stores blocked the core: finished at %d", c.FinishAt)
+	}
+	if port.stores == 0 {
+		t.Fatal("no stores issued")
+	}
+}
+
+func TestWarmBoundary(t *testing.T) {
+	src := &scriptSource{ops: []trace.Op{loadOp(4)}}
+	q := &event.Queue{}
+	port := &fakePort{q: q, latency: 1, sync: true}
+	warmed := false
+	finished := false
+	c := New(0, cfg(), q, src, port, 500, 1000, func(int) { warmed = true },
+		func(int, uint64) { finished = true })
+	c.Start()
+	q.Run(func() bool { return finished })
+	if !warmed {
+		t.Fatal("onWarm never fired")
+	}
+	if c.MarkTime == 0 || c.MarkTime >= c.FinishAt {
+		t.Fatalf("MarkTime = %d, FinishAt = %d", c.MarkTime, c.FinishAt)
+	}
+	if got := c.MeasuredInstructions(); got != 1000 {
+		t.Fatalf("measured instructions = %d, want 1000 (capped)", got)
+	}
+}
+
+func TestRunsPastBudget(t *testing.T) {
+	src := &scriptSource{ops: []trace.Op{loadOp(4)}}
+	q := &event.Queue{}
+	port := &fakePort{q: q, latency: 1, sync: true}
+	finished := false
+	c := New(0, cfg(), q, src, port, 0, 100, nil, func(int, uint64) { finished = true })
+	c.Start()
+	// Run beyond the finish; the core should keep loading the memory
+	// system (rate-mode methodology).
+	q.RunUntil(10000)
+	if !c.Finished {
+		t.Fatal("core did not report finish")
+	}
+	if c.Retired() <= 100 {
+		t.Fatal("core stopped executing at its budget")
+	}
+	if got := c.MeasuredInstructions(); got != 100 {
+		t.Fatalf("measured instructions = %d, want capped at 100", got)
+	}
+	_ = finished
+}
+
+func TestIPCBeforeFinishIsZero(t *testing.T) {
+	src := &scriptSource{ops: []trace.Op{loadOp(4)}}
+	q := &event.Queue{}
+	port := &fakePort{q: q, latency: 1, sync: true}
+	c := New(0, cfg(), q, src, port, 0, 1000, nil, nil)
+	if c.IPC() != 0 {
+		t.Fatal("IPC before finish should be 0")
+	}
+}
+
+func TestMixedSyncAsyncLoads(t *testing.T) {
+	// Alternate fast (sync) and slow (async) loads; the core must retire
+	// everything and release MSHRs in completion order.
+	q := &event.Queue{}
+	slow := &fakePort{q: q, latency: 400}
+	fast := &fakePort{q: q, latency: 2, sync: true}
+	alt := &alternatingPort{a: slow, b: fast}
+	src := &scriptSource{ops: []trace.Op{loadOp(1)}}
+	finished := false
+	c := New(0, cfg(), q, src, alt, 0, 3000, nil, func(int, uint64) { finished = true })
+	c.Start()
+	q.Run(func() bool { return finished })
+	if !c.Finished {
+		t.Fatal("core stuck with mixed load latencies")
+	}
+	if slow.loads == 0 || fast.loads == 0 {
+		t.Fatal("alternation broken")
+	}
+}
+
+type alternatingPort struct {
+	a, b MemPort
+	n    int
+}
+
+func (p *alternatingPort) Load(now uint64, core int, line, pc uint64, done event.Func) (uint64, bool) {
+	p.n++
+	if p.n%2 == 0 {
+		return p.a.Load(now, core, line, pc, done)
+	}
+	return p.b.Load(now, core, line, pc, done)
+}
+
+func (p *alternatingPort) Store(now uint64, core int, line, pc uint64) {}
+
+func TestQuantumYielding(t *testing.T) {
+	// A core with cheap loads must still interleave with the event queue
+	// rather than simulating arbitrarily far ahead: its local time can
+	// exceed global time by at most the quantum plus one op.
+	q := &event.Queue{}
+	port := &fakePort{q: q, latency: 1, sync: true}
+	src := &scriptSource{ops: []trace.Op{loadOp(10)}}
+	c := New(0, cfg(), q, src, port, 0, 100000, nil, nil)
+	c.Start()
+	for i := 0; i < 50 && q.Len() > 0; i++ {
+		q.Step()
+		if c.time > q.Now()+quantum+16 {
+			t.Fatalf("core ran %d cycles ahead of global time", c.time-q.Now())
+		}
+	}
+}
+
+func TestZeroNonMemOps(t *testing.T) {
+	// Back-to-back memory ops (NonMem = 0) still consume cycles.
+	q := &event.Queue{}
+	port := &fakePort{q: q, latency: 1, sync: true}
+	src := &scriptSource{ops: []trace.Op{loadOp(0)}}
+	finished := false
+	c := New(0, cfg(), q, src, port, 0, 1000, nil, func(int, uint64) { finished = true })
+	c.Start()
+	q.Run(func() bool { return finished })
+	if c.FinishAt < 500 {
+		t.Fatalf("1000 single-instruction ops finished in %d cycles (width 2)", c.FinishAt)
+	}
+}

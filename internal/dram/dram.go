@@ -1,0 +1,341 @@
+// Package dram models a multi-channel DRAM subsystem with per-bank row
+// buffers, realistic core timings (tCAS/tRCD/tRP/tRAS), a shared per-channel
+// data bus, and a USIMM-style scheduler: separate read and write queues per
+// channel, reads prioritised over writes, writes drained in batches between
+// watermarks, and row-hit-first request selection (an FR-FCFS
+// approximation).
+//
+// Timing is modelled with an occupancy timeline rather than per-cycle
+// command stepping: when the scheduler selects a request it computes the
+// earliest legal data-burst window given the bank state and bus
+// availability, commits the request to that window, and schedules a
+// completion event. Queuing delay — the mechanism behind the paper's
+// bandwidth-bloat results — emerges from contention for the data bus and
+// banks.
+//
+// The same model instantiates both the stacked-DRAM cache (high bandwidth)
+// and the DDR main memory (low bandwidth); only the config differs.
+package dram
+
+import (
+	"fmt"
+
+	"bear/internal/config"
+	"bear/internal/event"
+)
+
+// Request describes one DRAM transaction. Channel/Bank/Row must be within
+// the configured geometry; Bytes is the data-bus payload.
+type Request struct {
+	Channel int
+	Bank    int
+	Row     uint64
+	Bytes   int
+	Write   bool
+	// OnComplete, if non-nil, runs when the data burst finishes.
+	OnComplete event.Func
+
+	enqueued uint64
+}
+
+// Stats aggregates per-memory counters.
+type Stats struct {
+	ReadBytes   uint64
+	WriteBytes  uint64
+	Reads       uint64
+	Writes      uint64
+	RowHits     uint64
+	RowMisses   uint64
+	ReadQDelay  uint64 // sum over reads of (completion - enqueue)
+	BusBusy     uint64 // cycles the data bus carried data (all channels)
+	MaxReadQLen int
+}
+
+// AvgReadLatency returns mean read service time (queue + access + burst).
+func (s *Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadQDelay) / float64(s.Reads)
+}
+
+// RowHitRate returns the fraction of transactions that hit an open row.
+func (s *Stats) RowHitRate() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+type bank struct {
+	hasOpen   bool
+	openRow   uint64
+	busyUntil uint64 // end of the bank's last data burst
+	lastAct   uint64 // cycle of the last activate (for tRAS)
+	openAt    uint64 // cycle the open row became CAS-ready
+}
+
+type channel struct {
+	banks  []bank
+	readQ  []*Request
+	writeQ []*Request
+
+	busFreeAt uint64
+	draining  bool
+	committed int // requests holding a reserved bus window
+
+	acts   [4]uint64 // last four activate times (tFAW window)
+	actPos int       // index of the oldest entry in acts
+}
+
+// Memory is one DRAM subsystem.
+type Memory struct {
+	Name  string
+	Stats Stats
+
+	cfg config.DRAM
+	q   *event.Queue
+	ch  []*channel
+}
+
+// New creates a Memory with the given geometry attached to the event queue.
+func New(name string, cfg config.DRAM, q *event.Queue) *Memory {
+	m := &Memory{Name: name, cfg: cfg, q: q}
+	m.ch = make([]*channel, cfg.Channels)
+	for i := range m.ch {
+		m.ch[i] = &channel{banks: make([]bank, cfg.Banks)}
+	}
+	return m
+}
+
+// Config returns the geometry this memory was built with.
+func (m *Memory) Config() config.DRAM { return m.cfg }
+
+// Enqueue submits a request. Reads invoke r.OnComplete at data return;
+// writes complete silently (posted) but still consume bank and bus time.
+func (m *Memory) Enqueue(now uint64, r *Request) {
+	if r.Channel < 0 || r.Channel >= m.cfg.Channels {
+		panic(fmt.Sprintf("dram %s: channel %d out of range", m.Name, r.Channel))
+	}
+	if r.Bank < 0 || r.Bank >= m.cfg.Banks {
+		panic(fmt.Sprintf("dram %s: bank %d out of range", m.Name, r.Bank))
+	}
+	if r.Bytes <= 0 {
+		panic("dram: request with no payload")
+	}
+	r.enqueued = now
+	c := m.ch[r.Channel]
+	if r.Write {
+		c.writeQ = append(c.writeQ, r)
+	} else {
+		c.readQ = append(c.readQ, r)
+		if len(c.readQ) > m.Stats.MaxReadQLen {
+			m.Stats.MaxReadQLen = len(c.readQ)
+		}
+	}
+	m.kick(now, c)
+}
+
+// Read is a convenience wrapper for a read transaction.
+func (m *Memory) Read(now uint64, ch, bk int, row uint64, bytes int, done event.Func) {
+	m.Enqueue(now, &Request{Channel: ch, Bank: bk, Row: row, Bytes: bytes, OnComplete: done})
+}
+
+// Write is a convenience wrapper for a posted write transaction.
+func (m *Memory) Write(now uint64, ch, bk int, row uint64, bytes int) {
+	m.Enqueue(now, &Request{Channel: ch, Bank: bk, Row: row, Bytes: bytes, Write: true})
+}
+
+// Pending reports the number of queued (unscheduled) requests, for tests and
+// drain checks.
+func (m *Memory) Pending() int {
+	n := 0
+	for _, c := range m.ch {
+		n += len(c.readQ) + len(c.writeQ) + c.committed
+	}
+	return n
+}
+
+// scanLimit caps how many queued requests the scheduler inspects per pick;
+// beyond this FR-FCFS degenerates to FCFS, matching real schedulers' bounded
+// associative search.
+const scanLimit = 16
+
+// kick schedules queued requests onto the channel. Up to one committed
+// request per bank may be in flight at once: the data bus serialises bursts,
+// but bank activations and precharges overlap across banks, which is where
+// DRAM bank-level parallelism comes from.
+func (m *Memory) kick(now uint64, c *channel) {
+	for c.committed < m.cfg.Banks {
+		// Update write-drain mode (watermark hysteresis).
+		if len(c.writeQ) >= m.cfg.WriteQHi {
+			c.draining = true
+		}
+		if len(c.writeQ) <= m.cfg.WriteQLo {
+			c.draining = false
+		}
+
+		var pool *[]*Request
+		switch {
+		case len(c.readQ) > 0 && !c.draining:
+			pool = &c.readQ
+		case len(c.writeQ) > 0:
+			pool = &c.writeQ
+		case len(c.readQ) > 0:
+			pool = &c.readQ
+		default:
+			return
+		}
+
+		// Select the request with the earliest feasible data-burst start;
+		// ties broken row-hit-first, then FIFO order.
+		best := -1
+		var bestStart uint64
+		bestHit := false
+		limit := len(*pool)
+		if limit > scanLimit {
+			limit = scanLimit
+		}
+		for i := 0; i < limit; i++ {
+			r := (*pool)[i]
+			start, hit := m.burstStart(now, c, r)
+			if best == -1 || start < bestStart || (start == bestStart && hit && !bestHit) {
+				best, bestStart, bestHit = i, start, hit
+			}
+		}
+		// Commit-ahead discipline: while something is already committed,
+		// only reserve bus windows that keep the bus fed. Reserving a
+		// distant window (e.g. a tRAS-serialised same-bank chain) would
+		// steal reordering freedom from requests that arrive meanwhile;
+		// the completion events re-kick the scheduler instead.
+		if c.committed > 0 {
+			horizon := max64(now, c.busFreeAt) + m.cfg.TRCD + m.cfg.TCAS
+			if bestStart > horizon {
+				return
+			}
+		}
+		r := (*pool)[best]
+		*pool = append((*pool)[:best], (*pool)[best+1:]...)
+		m.commit(now, c, r, bestStart, bestHit)
+	}
+}
+
+// burstStart computes the earliest cycle r's data burst could begin.
+// Column accesses to an open row pipeline (consecutive row hits stream at
+// burst rate, each still paying tCAS of latency); row misses must wait for
+// the bank's in-flight burst, tRAS since the last activate, precharge and
+// activation.
+func (m *Memory) burstStart(now uint64, c *channel, r *Request) (start uint64, rowHit bool) {
+	b := &c.banks[r.Bank]
+	busFree := max64(c.busFreeAt, now)
+	burst := uint64((r.Bytes + m.cfg.BytesPerCycle - 1) / m.cfg.BytesPerCycle)
+	if b.hasOpen && b.openRow == r.Row {
+		// The CAS could have issued as soon as both the request and the
+		// open row existed; deferred scheduling must not re-charge tCAS
+		// from the scheduling instant.
+		casFrom := max64(r.enqueued, b.openAt)
+		return m.alignRefresh(max64(casFrom+m.cfg.TCAS, busFree), burst), true
+	}
+	prep := max64(b.busyUntil, now)
+	if b.hasOpen {
+		// Precharge may not begin before tRAS has elapsed since activate.
+		prep = max64(prep, b.lastAct+m.cfg.TRAS)
+		prep += m.cfg.TRP
+	}
+	// The activate must respect the four-activate window.
+	if m.cfg.TFAW > 0 {
+		prep = max64(prep, c.acts[c.actPos]+m.cfg.TFAW)
+	}
+	ready := prep + m.cfg.TRCD
+	return m.alignRefresh(max64(ready+m.cfg.TCAS, busFree), burst), false
+}
+
+// alignRefresh pushes a data-burst window out of any all-bank refresh
+// period. Refreshes occupy [k*tREFI, k*tREFI+tRFC) for k >= 1.
+func (m *Memory) alignRefresh(start, burst uint64) uint64 {
+	if m.cfg.TREFI == 0 {
+		return start
+	}
+	for {
+		k := start / m.cfg.TREFI
+		if k > 0 {
+			if wEnd := k*m.cfg.TREFI + m.cfg.TRFC; start < wEnd {
+				start = wEnd
+				continue
+			}
+		}
+		next := (k + 1) * m.cfg.TREFI
+		if start+burst > next {
+			start = next + m.cfg.TRFC
+			continue
+		}
+		return start
+	}
+}
+
+func (m *Memory) commit(now uint64, c *channel, r *Request, start uint64, rowHit bool) {
+	b := &c.banks[r.Bank]
+	burst := uint64((r.Bytes + m.cfg.BytesPerCycle - 1) / m.cfg.BytesPerCycle)
+	end := start + burst
+
+	if !rowHit {
+		// Activation completed tCAS before the burst began.
+		b.lastAct = start - m.cfg.TCAS - m.cfg.TRCD
+		b.openAt = start - m.cfg.TCAS
+		c.acts[c.actPos] = b.lastAct
+		c.actPos = (c.actPos + 1) % len(c.acts)
+		m.Stats.RowMisses++
+	} else {
+		m.Stats.RowHits++
+	}
+	b.hasOpen = true
+	b.openRow = r.Row
+	if end > b.busyUntil {
+		b.busyUntil = end
+	}
+	c.busFreeAt = end
+	c.committed++
+	m.Stats.BusBusy += burst
+
+	m.q.At(end, func(t uint64) {
+		if r.Write {
+			m.Stats.Writes++
+			m.Stats.WriteBytes += uint64(r.Bytes)
+		} else {
+			m.Stats.Reads++
+			m.Stats.ReadBytes += uint64(r.Bytes)
+			m.Stats.ReadQDelay += t - r.enqueued
+		}
+		c.committed--
+		if r.OnComplete != nil {
+			r.OnComplete(t)
+		}
+		m.kick(t, c)
+	})
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mapper translates linear indices (row numbers or line addresses) to
+// channel/bank/row coordinates with channel-first interleaving, which
+// spreads consecutive units across channels for parallelism.
+type Mapper struct {
+	Channels int
+	Banks    int
+}
+
+// Map translates a linear unit index (e.g. a DRAM row number) into
+// (channel, bank, in-bank row).
+func (mp Mapper) Map(unit uint64) (ch, bk int, row uint64) {
+	ch = int(unit % uint64(mp.Channels))
+	unit /= uint64(mp.Channels)
+	bk = int(unit % uint64(mp.Banks))
+	row = unit / uint64(mp.Banks)
+	return ch, bk, row
+}

@@ -1,0 +1,500 @@
+package dramcache
+
+import (
+	"fmt"
+
+	"bear/internal/config"
+	"bear/internal/core"
+	"bear/internal/dram"
+	"bear/internal/stats"
+)
+
+// AlloyOpts selects the policy configuration of the Alloy-family cache.
+type AlloyOpts struct {
+	// Ideal turns the design into the Bandwidth-Optimized cache: hits move
+	// exactly 64 B and every secondary operation is performed logically
+	// without consuming DRAM-cache bandwidth.
+	Ideal bool
+	// Inclusive enforces inclusion of the on-chip hierarchy: writeback
+	// probes are unnecessary, fills may never bypass, and evictions
+	// back-invalidate the on-chip caches.
+	Inclusive bool
+	// BAB, when non-nil, is the fill/bypass policy (BAB or naive PB).
+	BAB *core.BAB
+	// NTC, when non-nil, enables the Neighboring Tag Cache.
+	NTC *core.NTC
+	// Predictor, when non-nil, is the MAP-I hit/miss predictor.
+	Predictor *MAPI
+	// Pred selects between MAP-I, a perfect oracle, and a static
+	// always-predict-hit policy (ablations).
+	Pred config.PredMode
+	// WBAllocate installs writeback misses instead of forwarding them to
+	// memory (requires a probe first, to recover a dirty victim).
+	WBAllocate bool
+	// DBP, when non-nil, replaces BAB with a dead-block-predictor bypass
+	// (Section 9.2's prior-work class; see core.DeadBlock).
+	DBP *core.DeadBlock
+	// TTC, when non-nil, is a temporal tag cache: it records the demand
+	// set's tag on every access (Section 9.4's prior-work class),
+	// complementing the NTC's spatial-only policy.
+	TTC *core.NTC
+}
+
+// Alloy is the direct-mapped Tag-And-Data DRAM cache (Qureshi & Loh,
+// MICRO 2012) with the BEAR-paper policy knobs. Each set is one 72 B TAD;
+// 28 consecutive sets share a 2 KB row, and each 80 B access also carries
+// the next set's tag (consumed by the NTC).
+type Alloy struct {
+	name string
+	opts AlloyOpts
+
+	sets       uint64
+	setsPerRow uint64
+	channels   uint64
+	banks      uint64
+
+	tag   []uint64
+	valid []uint64 // bitset
+	dirty []uint64 // bitset
+
+	// Dead-block state (allocated when opts.DBP is set): the signature of
+	// the fill that installed each line and whether it has been reused.
+	sig    []uint16
+	reused []uint64 // bitset
+
+	l4    *dram.Memory
+	mem   *MainMemory
+	hooks Hooks
+	st    stats.L4
+}
+
+// NewAlloy builds an Alloy-family cache with the given set count over the
+// stacked-DRAM l4 and main memory mem.
+func NewAlloy(name string, sets uint64, l4 *dram.Memory, mem *MainMemory, hooks Hooks, opts AlloyOpts) *Alloy {
+	if sets == 0 {
+		panic("dramcache: alloy with zero sets")
+	}
+	cfg := l4.Config()
+	a := &Alloy{
+		name:       name,
+		opts:       opts,
+		sets:       sets,
+		setsPerRow: 28,
+		channels:   uint64(cfg.Channels),
+		banks:      uint64(cfg.Banks),
+		tag:        make([]uint64, sets),
+		valid:      make([]uint64, (sets+63)/64),
+		dirty:      make([]uint64, (sets+63)/64),
+		l4:         l4,
+		mem:        mem,
+		hooks:      hooks,
+	}
+	if opts.DBP != nil {
+		a.sig = make([]uint16, sets)
+		a.reused = make([]uint64, (sets+63)/64)
+	}
+	return a
+}
+
+// Name implements Cache.
+func (a *Alloy) Name() string { return a.name }
+
+// Stats implements Cache.
+func (a *Alloy) Stats() *stats.L4 { return &a.st }
+
+// Sets returns the set count (tests).
+func (a *Alloy) Sets() uint64 { return a.sets }
+
+func (a *Alloy) isValid(set uint64) bool { return a.valid[set/64]&(1<<(set%64)) != 0 }
+func (a *Alloy) isDirty(set uint64) bool { return a.dirty[set/64]&(1<<(set%64)) != 0 }
+func (a *Alloy) setValid(set uint64, v bool) {
+	if v {
+		a.valid[set/64] |= 1 << (set % 64)
+	} else {
+		a.valid[set/64] &^= 1 << (set % 64)
+	}
+}
+func (a *Alloy) setDirty(set uint64, v bool) {
+	if v {
+		a.dirty[set/64] |= 1 << (set % 64)
+	} else {
+		a.dirty[set/64] &^= 1 << (set % 64)
+	}
+}
+
+// locate maps a set to its DRAM coordinates. Consecutive sets share a row;
+// consecutive rows rotate across channels, then banks.
+func (a *Alloy) locate(set uint64) (ch, bk int, row uint64, globalBank int) {
+	rowUnit := set / a.setsPerRow
+	ch = int(rowUnit % a.channels)
+	rest := rowUnit / a.channels
+	bk = int(rest % a.banks)
+	row = rest / a.banks
+	return ch, bk, row, ch*int(a.banks) + bk
+}
+
+// Contains implements Cache.
+func (a *Alloy) Contains(line uint64) bool {
+	set := line % a.sets
+	return a.isValid(set) && a.tag[set] == line
+}
+
+// Install implements Cache: a free functional fill used for pre-warming.
+func (a *Alloy) Install(line uint64) {
+	set := line % a.sets
+	a.tag[set] = line
+	a.setValid(set, true)
+	a.setDirty(set, false)
+}
+
+// depositNeighbor records the next set's tag in the NTC, mirroring the
+// extra 8 B every 80 B burst carries. The last TAD of a row has no
+// neighbour in the burst.
+func (a *Alloy) depositNeighbor(globalBank int, set uint64) {
+	if a.opts.NTC == nil {
+		return
+	}
+	if set%a.setsPerRow == a.setsPerRow-1 {
+		return
+	}
+	n := set + 1
+	if n >= a.sets {
+		return
+	}
+	a.opts.NTC.Deposit(globalBank, n, a.isValid(n), a.tag[n], a.isDirty(n))
+}
+
+func (a *Alloy) syncNTC(globalBank int, set uint64) {
+	if a.opts.NTC != nil {
+		a.opts.NTC.Sync(globalBank, set, a.isValid(set), a.tag[set], a.isDirty(set))
+	}
+	if a.opts.TTC != nil {
+		a.opts.TTC.Sync(globalBank, set, a.isValid(set), a.tag[set], a.isDirty(set))
+	}
+}
+
+// depositDemand records the accessed set's own tag in the temporal tag
+// cache (every probe reads it anyway).
+func (a *Alloy) depositDemand(globalBank int, set uint64) {
+	if a.opts.TTC == nil {
+		return
+	}
+	a.opts.TTC.Deposit(globalBank, set, a.isValid(set), a.tag[set], a.isDirty(set))
+}
+
+func (a *Alloy) isReused(set uint64) bool { return a.reused[set/64]&(1<<(set%64)) != 0 }
+func (a *Alloy) setReused(set uint64, v bool) {
+	if v {
+		a.reused[set/64] |= 1 << (set % 64)
+	} else {
+		a.reused[set/64] &^= 1 << (set % 64)
+	}
+}
+
+// Read implements Cache. See the package comment for the functional-at-
+// issue convention: tag state and policy decisions are resolved here, and
+// timed DRAM transactions deliver bandwidth/latency effects.
+func (a *Alloy) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
+	set := line % a.sets
+	hit := a.isValid(set) && a.tag[set] == line
+	ch, bk, row, gb := a.locate(set)
+
+	if a.opts.Ideal {
+		a.readIdeal(now, set, line, hit, ch, bk, row, done)
+		return
+	}
+
+	if a.opts.BAB != nil {
+		a.opts.BAB.RecordAccess(set, !hit)
+	}
+
+	// NTC consultation: a known answer either guarantees a hit (so a
+	// mispredicted parallel memory access can be squashed) or guarantees a
+	// miss (so the probe can be skipped when the resident line is clean).
+	var ntcKnown, ntcPresent, skipProbe bool
+	for _, tc := range []*core.NTC{a.opts.NTC, a.opts.TTC} {
+		if tc == nil || ntcKnown {
+			continue
+		}
+		ans := tc.Lookup(gb, set, line)
+		if ans.Known {
+			ntcKnown, ntcPresent = true, ans.Present
+			if !ans.Present && (!ans.HasLine || !ans.LineDirty) {
+				skipProbe = true
+			}
+		}
+	}
+
+	predHit := true
+	switch {
+	case a.opts.Pred == config.PredPerfect:
+		predHit = hit
+	case a.opts.Pred == config.PredAlwaysHit:
+		predHit = true
+	case a.opts.Predictor != nil:
+		predHit = a.opts.Predictor.Predict(coreID, pc)
+		a.opts.Predictor.Update(coreID, pc, hit)
+	}
+
+	if hit {
+		// The probe is the useful data transfer.
+		a.depositNeighbor(gb, set)
+		a.depositDemand(gb, set)
+		statusUpdate := false
+		if a.opts.DBP != nil && !a.isReused(set) {
+			// First reuse: the in-DRAM reuse bit must be updated — the
+			// extra access Section 9.2 charges against dead-block schemes.
+			a.setReused(set, true)
+			statusUpdate = true
+		}
+		a.l4.Read(now, ch, bk, row, 80, func(t uint64) {
+			a.st.AddBytes(stats.HitProbe, 80)
+			a.st.Hit(t - now)
+			if statusUpdate {
+				a.st.AddBytes(stats.ReplUpdate, 80)
+				a.l4.Write(t, ch, bk, row, 80)
+			}
+			done(t, ReadResult{FromL4: true, InL4: true})
+		})
+		if !predHit {
+			if ntcKnown && ntcPresent {
+				// NTC guarantees the hit: squash the wasteful parallel
+				// memory access MAP-I would have issued.
+				a.st.NTCParallelSqsh++
+			} else {
+				a.mem.ReadLine(now, line, nil) // wasted parallel access
+			}
+		}
+		return
+	}
+
+	// --- Miss path. ---
+	// The memory access may start immediately when the miss is known or
+	// predicted; a predicted hit serialises memory behind the probe.
+	parallel := !predHit || skipProbe || (ntcKnown && !ntcPresent)
+	if skipProbe {
+		a.st.NTCProbesSaved++
+	}
+
+	// Fill / bypass decision (functional state updates immediately).
+	bypass := false
+	switch {
+	case a.opts.Inclusive:
+	case a.opts.BAB != nil:
+		bypass = a.opts.BAB.ShouldBypass(set)
+	case a.opts.DBP != nil:
+		bypass = a.opts.DBP.PredictDead(a.opts.DBP.Signature(pc))
+	}
+	var victimLine uint64
+	victimValid, victimDirty := false, false
+	if !bypass {
+		victimValid = a.isValid(set)
+		if victimValid {
+			victimLine = a.tag[set]
+			victimDirty = a.isDirty(set)
+			if a.opts.Inclusive {
+				if a.hooks.OnBackInvalidate != nil && a.hooks.OnBackInvalidate(victimLine) {
+					victimDirty = true // on-chip copy was dirty; forward it
+				}
+			} else if a.hooks.OnEvict != nil {
+				a.hooks.OnEvict(victimLine)
+			}
+			if a.opts.DBP != nil {
+				a.opts.DBP.Train(a.sig[set], a.isReused(set))
+			}
+		}
+		a.tag[set] = line
+		a.setValid(set, true)
+		a.setDirty(set, false)
+		if a.opts.DBP != nil {
+			a.sig[set] = a.opts.DBP.Signature(pc)
+			a.setReused(set, false)
+		}
+		a.syncNTC(gb, set)
+	} else {
+		a.st.Bypasses++
+	}
+
+	if !skipProbe {
+		a.depositNeighbor(gb, set)
+		a.depositDemand(gb, set)
+	}
+
+	filled := !bypass
+	finish := func(t uint64) {
+		a.st.Miss(t - now)
+		done(t, ReadResult{FromL4: false, InL4: filled})
+	}
+	// fillAt charges the Miss Fill write (and the dirty victim's eviction
+	// to memory) when the data arrives from main memory.
+	fillAt := func(t uint64) {
+		if !filled {
+			return
+		}
+		a.st.Fills++
+		a.st.AddBytes(stats.MissFill, 80)
+		a.l4.Write(t, ch, bk, row, 80)
+		if victimValid && victimDirty {
+			a.mem.WriteLine(t, victimLine)
+		}
+	}
+
+	switch {
+	case skipProbe:
+		a.mem.ReadLine(now, line, func(t uint64) {
+			fillAt(t)
+			finish(t)
+		})
+	case parallel:
+		// Probe and memory proceed concurrently; data is usable when both
+		// the miss is confirmed and the line has arrived. Events fire in
+		// time order, so the second completion carries max(Tp, Tm).
+		pendingBoth := 2
+		both := func(t uint64) {
+			pendingBoth--
+			if pendingBoth == 0 {
+				finish(t)
+			}
+		}
+		a.l4.Read(now, ch, bk, row, 80, func(t uint64) {
+			a.st.AddBytes(stats.MissProbe, 80)
+			both(t)
+		})
+		a.mem.ReadLine(now, line, func(t uint64) {
+			fillAt(t)
+			both(t)
+		})
+	default:
+		// Predicted hit: memory starts only after the probe detects the
+		// miss (the serialisation penalty MAP-I exists to avoid).
+		a.l4.Read(now, ch, bk, row, 80, func(t uint64) {
+			a.st.AddBytes(stats.MissProbe, 80)
+			a.mem.ReadLine(t, line, func(t2 uint64) {
+				fillAt(t2)
+				finish(t2)
+			})
+		})
+	}
+}
+
+// readIdeal is the BW-Optimized path: hits read 64 B; all secondary
+// operations are logical. Main-memory traffic (the demand fetch and dirty
+// victims) is still modelled, since BW-Opt idealises only the L4 bus.
+func (a *Alloy) readIdeal(now uint64, set, line uint64, hit bool, ch, bk int, row uint64, done func(uint64, ReadResult)) {
+	if hit {
+		a.l4.Read(now, ch, bk, row, 64, func(t uint64) {
+			a.st.AddBytes(stats.HitProbe, 64)
+			a.st.Hit(t - now)
+			done(t, ReadResult{FromL4: true, InL4: true})
+		})
+		return
+	}
+	if a.isValid(set) {
+		victim := a.tag[set]
+		if a.hooks.OnEvict != nil {
+			a.hooks.OnEvict(victim)
+		}
+		if a.isDirty(set) {
+			a.mem.WriteLine(now, victim)
+		}
+	}
+	a.tag[set] = line
+	a.setValid(set, true)
+	a.setDirty(set, false)
+	a.st.Fills++
+	a.mem.ReadLine(now, line, func(t uint64) {
+		a.st.Miss(t - now)
+		done(t, ReadResult{FromL4: false, InL4: true})
+	})
+}
+
+// Writeback implements Cache.
+func (a *Alloy) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
+	set := line % a.sets
+	hit := a.isValid(set) && a.tag[set] == line
+	ch, bk, row, gb := a.locate(set)
+
+	if a.opts.Ideal {
+		if hit {
+			a.setDirty(set, true)
+			a.st.WBHits++
+		} else {
+			a.st.WBMisses++
+			a.mem.WriteLine(now, line)
+		}
+		return
+	}
+
+	// Inclusion or a set DCP bit guarantees presence: update directly.
+	if (a.opts.Inclusive || pres == core.PresPresent) && hit {
+		if pres == core.PresPresent {
+			a.st.DCPProbesSaved++
+		}
+		a.st.WBHits++
+		a.setDirty(set, true)
+		a.syncNTC(gb, set)
+		a.st.AddBytes(stats.WBUpdate, 80)
+		a.l4.Write(now, ch, bk, row, 80)
+		return
+	}
+	// A clear DCP bit guarantees absence: under writeback-no-allocate the
+	// data goes straight to main memory, with neither probe nor fill.
+	// Under writeback-allocate a probe is still required before the fill,
+	// to recover a possibly-dirty victim (Section 5.2).
+	if pres == core.PresAbsent && !hit && !a.opts.WBAllocate {
+		a.st.DCPProbesSaved++
+		a.st.WBMisses++
+		a.mem.WriteLine(now, line)
+		return
+	}
+
+	// Unknown (or a violated guarantee, handled conservatively): probe.
+	a.depositNeighbor(gb, set)
+	a.depositDemand(gb, set)
+	var victimLine uint64
+	victimValid, victimDirty := false, false
+	if hit {
+		a.setDirty(set, true)
+		a.syncNTC(gb, set)
+	} else if a.opts.WBAllocate {
+		// Writeback Fill: install the dirty line now (functional), pay
+		// for it when the probe completes.
+		victimValid = a.isValid(set)
+		if victimValid {
+			victimLine = a.tag[set]
+			victimDirty = a.isDirty(set)
+			if a.hooks.OnEvict != nil {
+				a.hooks.OnEvict(victimLine)
+			}
+		}
+		a.tag[set] = line
+		a.setValid(set, true)
+		a.setDirty(set, true)
+		a.syncNTC(gb, set)
+	}
+	a.l4.Read(now, ch, bk, row, 80, func(t uint64) {
+		a.st.AddBytes(stats.WBProbe, 80)
+		switch {
+		case hit:
+			a.st.WBHits++
+			a.st.AddBytes(stats.WBUpdate, 80)
+			a.l4.Write(t, ch, bk, row, 80)
+		case a.opts.WBAllocate:
+			a.st.WBMisses++
+			a.st.AddBytes(stats.WBFill, 80)
+			a.l4.Write(t, ch, bk, row, 80)
+			if victimValid && victimDirty {
+				a.mem.WriteLine(t, victimLine)
+			}
+		default:
+			a.st.WBMisses++
+			a.mem.WriteLine(t, line)
+		}
+	})
+}
+
+var _ Cache = (*Alloy)(nil)
+
+func (a *Alloy) String() string {
+	return fmt.Sprintf("%s(sets=%d)", a.name, a.sets)
+}

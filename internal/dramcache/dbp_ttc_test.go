@@ -1,0 +1,93 @@
+package dramcache
+
+import (
+	"testing"
+
+	"bear/internal/core"
+	"bear/internal/stats"
+)
+
+func TestDBPBypassesDeadPCs(t *testing.T) {
+	f := newFixture()
+	dbp := core.NewDeadBlock(256, 2)
+	a := newAlloy(f, AlloyOpts{DBP: dbp})
+	pc := uint64(0x400)
+	// Stream distinct lines from one PC without reuse: after the predictor
+	// learns, fills from that PC are bypassed.
+	for i := uint64(0); i < 200; i++ {
+		var done bool
+		a.Read(f.q.Now(), 0, i*56+i%13, pc, func(uint64, ReadResult) { done = true })
+		f.drain()
+		if !done {
+			t.Fatal("read lost")
+		}
+	}
+	if a.Stats().Bypasses == 0 {
+		t.Fatal("dead-block predictor never bypassed a dead stream")
+	}
+}
+
+func TestDBPStatusUpdateCharged(t *testing.T) {
+	f := newFixture()
+	dbp := core.NewDeadBlock(256, 2)
+	a := newAlloy(f, AlloyOpts{DBP: dbp})
+	a.Install(100)
+	read(t, f, a, 100) // first reuse: status update write
+	st := a.Stats()
+	if st.Bytes[stats.ReplUpdate] != 80 {
+		t.Fatalf("first hit should charge one 80B status update, got %v", st.Bytes)
+	}
+	read(t, f, a, 100) // second hit: bit already set, no update
+	if st.Bytes[stats.ReplUpdate] != 80 {
+		t.Fatalf("second hit re-charged the status update: %v", st.Bytes)
+	}
+}
+
+func TestDBPTrainsOnEviction(t *testing.T) {
+	f := newFixture()
+	dbp := core.NewDeadBlock(256, 2)
+	a := newAlloy(f, AlloyOpts{DBP: dbp})
+	read(t, f, a, 100) // fill
+	read(t, f, a, 156) // conflict evicts 100 (never reused) -> training
+	if dbp.Trainings == 0 {
+		t.Fatal("eviction did not train the predictor")
+	}
+}
+
+func TestTTCAnswersTemporalRepeats(t *testing.T) {
+	f := newFixture()
+	ttc := core.NewNTC(8, 8)
+	mapi := NewMAPI(1, 64)
+	a := newAlloy(f, AlloyOpts{TTC: ttc, Predictor: mapi})
+	// Train MAP-I to predict miss so the squash matters.
+	for i := 0; i < 8; i++ {
+		mapi.Update(0, 0x400, false)
+	}
+	a.Install(100)
+	read(t, f, a, 100) // probe deposits the DEMAND set into the TTC
+	memReads := f.mem.D.Stats.Reads
+	read(t, f, a, 100) // TTC knows it's present: parallel access squashed
+	if f.mem.D.Stats.Reads != memReads {
+		t.Fatal("TTC did not squash the parallel memory access")
+	}
+	if a.Stats().NTCParallelSqsh == 0 {
+		t.Fatal("squash not counted")
+	}
+}
+
+func TestTTCSkipsMissProbeOnRevisitedSet(t *testing.T) {
+	f := newFixture()
+	ttc := core.NewNTC(8, 8)
+	a := newAlloy(f, AlloyOpts{TTC: ttc})
+	a.Install(100)     // set 44
+	read(t, f, a, 100) // deposit demand set 44 (clean line 100)
+	st := a.Stats()
+	before := st.Bytes[stats.MissProbe]
+	read(t, f, a, 156) // set 44, different line: TTC guarantees absent
+	if st.Bytes[stats.MissProbe] != before {
+		t.Fatal("TTC did not skip the miss probe")
+	}
+	if st.NTCProbesSaved != 1 {
+		t.Fatalf("probes saved = %d", st.NTCProbesSaved)
+	}
+}

@@ -1,0 +1,143 @@
+// Package dramcache implements the gigascale DRAM-cache (L4) architectures
+// the paper evaluates: the Alloy cache baseline (with the MAP-I predictor),
+// the BEAR-enhanced Alloy cache, the idealised Bandwidth-Optimized cache,
+// the inclusive Alloy variant, the Loh-Hill and Mostly-Clean tags-in-DRAM
+// designs, and the Tags-In-SRAM and Sector-Cache alternatives of Section 8.
+//
+// Designs are functional-at-issue: tag state, replacement and policy
+// decisions update synchronously when a request is handed to the design,
+// while all bandwidth and latency effects are modelled through timed
+// transactions on the internal/dram subsystems. This keeps the functional
+// state single-threaded and deterministic while the timing model carries
+// the contention the paper studies.
+package dramcache
+
+import (
+	"bear/internal/core"
+	"bear/internal/dram"
+	"bear/internal/event"
+	"bear/internal/stats"
+)
+
+// ReadResult is delivered to the hierarchy when an L4 read completes.
+type ReadResult struct {
+	// FromL4 reports whether the line was serviced by the DRAM cache.
+	FromL4 bool
+	// InL4 reports whether the line is resident in the DRAM cache after
+	// the access (it was a hit, or the miss filled it). The hierarchy uses
+	// this to set the DCP bit on the LLC fill.
+	InL4 bool
+}
+
+// Hooks are upcalls from the L4 design into the on-chip hierarchy.
+type Hooks struct {
+	// OnEvict fires when a line leaves the DRAM cache; the hierarchy
+	// clears the line's DCP bit (the paper's "conveyed like inclusive
+	// flow, but updates the bit instead of invalidating").
+	OnEvict func(line uint64)
+	// OnBackInvalidate fires for inclusive designs when a line leaves the
+	// DRAM cache; the hierarchy must invalidate every on-chip copy and
+	// report whether one of them was dirty (so the design can forward the
+	// data to main memory).
+	OnBackInvalidate func(line uint64) (wasDirty bool)
+}
+
+// Cache is an L4 DRAM-cache design.
+type Cache interface {
+	Name() string
+	// Read services an LLC read miss for a line address. done is invoked
+	// exactly once, from the event queue, when data is available.
+	Read(now uint64, coreID int, line, pc uint64, done func(now uint64, res ReadResult))
+	// Writeback services a dirty LLC eviction. pres carries the DCP
+	// answer when the hierarchy maintains one (PresUnknown otherwise).
+	Writeback(now uint64, coreID int, line uint64, pres core.Presence)
+	// Contains reports functional residency (tests, invariant checks).
+	Contains(line uint64) bool
+	// Install functionally pre-loads a clean line, consuming no bandwidth
+	// and no simulated time. Simulations use it to pre-warm the gigascale
+	// cache to steady-state residency before timing begins (the SimPoint
+	// functional-warming step of the paper's methodology).
+	Install(line uint64)
+	Stats() *stats.L4
+}
+
+// MainMemory adapts the DDR dram.Memory to line-address granularity with
+// channel-interleaved mapping: consecutive lines alternate channels, and
+// consecutive lines within a channel share rows (stream locality).
+type MainMemory struct {
+	D *dram.Memory
+
+	channels    uint64
+	banks       uint64
+	linesPerRow uint64
+}
+
+// NewMainMemory wraps d (which must be the DDR main memory).
+func NewMainMemory(d *dram.Memory) *MainMemory {
+	cfg := d.Config()
+	return &MainMemory{
+		D:           d,
+		channels:    uint64(cfg.Channels),
+		banks:       uint64(cfg.Banks),
+		linesPerRow: uint64(cfg.RowBytes / 64),
+	}
+}
+
+func (m *MainMemory) locate(line uint64) (ch, bk int, row uint64) {
+	ch = int(line % m.channels)
+	rest := line / m.channels
+	rowUnit := rest / m.linesPerRow
+	bk = int(rowUnit % m.banks)
+	row = rowUnit / m.banks
+	return ch, bk, row
+}
+
+// ReadLine fetches one 64 B line; done may be nil for discarded (wasted
+// parallel-access) reads.
+func (m *MainMemory) ReadLine(now uint64, line uint64, done event.Func) {
+	ch, bk, row := m.locate(line)
+	m.D.Read(now, ch, bk, row, 64, done)
+}
+
+// WriteLine posts one 64 B line write.
+func (m *MainMemory) WriteLine(now uint64, line uint64) {
+	ch, bk, row := m.locate(line)
+	m.D.Write(now, ch, bk, row, 64)
+}
+
+// NoL4 is the "no DRAM cache" memory system: every LLC miss goes to main
+// memory. It is the normalisation baseline of Figures 3 and 17.
+type NoL4 struct {
+	mem *MainMemory
+	st  stats.L4
+}
+
+// NewNoL4 builds the pass-through design.
+func NewNoL4(mem *MainMemory) *NoL4 { return &NoL4{mem: mem} }
+
+// Name implements Cache.
+func (n *NoL4) Name() string { return "NoL4" }
+
+// Read implements Cache.
+func (n *NoL4) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
+	issue := now
+	n.mem.ReadLine(now, line, func(t uint64) {
+		n.st.Miss(t - issue)
+		done(t, ReadResult{})
+	})
+}
+
+// Writeback implements Cache.
+func (n *NoL4) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
+	n.st.WBMisses++
+	n.mem.WriteLine(now, line)
+}
+
+// Contains implements Cache.
+func (n *NoL4) Contains(line uint64) bool { return false }
+
+// Install implements Cache (no-op: there is no cache).
+func (n *NoL4) Install(line uint64) {}
+
+// Stats implements Cache.
+func (n *NoL4) Stats() *stats.L4 { return &n.st }

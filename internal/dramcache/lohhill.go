@@ -1,0 +1,260 @@
+package dramcache
+
+import (
+	"bear/internal/core"
+	"bear/internal/dram"
+	"bear/internal/sram"
+	"bear/internal/stats"
+)
+
+// LHOpts configures the Loh-Hill-family cache.
+type LHOpts struct {
+	// MissMapLatency, when non-zero, models a MissMap: presence is known
+	// without probing the DRAM array, at the cost of this many cycles on
+	// every request (24, the L3 latency, per Section 7). The MissMap also
+	// answers writeback presence.
+	MissMapLatency uint64
+	// PerfectPredictor models the Mostly-Clean cache: a perfect hit/miss
+	// predictor dispatches predicted misses directly to memory with no
+	// added latency; writebacks still require probes (no MissMap).
+	PerfectPredictor bool
+	// UseDIP selects Dynamic Insertion Policy instead of pure LRU for the
+	// 29-way sets (footnote 3 of the paper names LRU/DIP as LH's options).
+	UseDIP bool
+}
+
+// LohHill is the 29-way set-associative tags-in-DRAM cache of Loh & Hill
+// (MICRO 2011): each 2 KB row is one set, with three tag lines (192 B)
+// followed by 29 data lines. Servicing a hit reads the tag lines, then the
+// matching data line from the open row; LRU updates re-write a tag line.
+type LohHill struct {
+	name string
+	opts LHOpts
+
+	tags     *sram.Cache // functional tags+LRU (physically in DRAM)
+	mm       *MissMap    // presence tracker (nil for Mostly-Clean)
+	dip      *core.DIP   // insertion policy (nil = pure LRU)
+	channels uint64
+	banks    uint64
+
+	l4    *dram.Memory
+	mem   *MainMemory
+	hooks Hooks
+	st    stats.L4
+
+	lastNow uint64 // current request time, for MissMap-forced evictions
+}
+
+// Loh-Hill transfer sizes (bytes).
+const (
+	lhTagBytes  = 192 // three tag lines
+	lhDataBytes = 64
+	lhFillBytes = 128 // data line + the tag line it lives in
+)
+
+// NewLohHill builds an LH-family cache with the given set (row) count.
+// Designs with a MissMap (MissMapLatency > 0) get a capacity-bounded
+// presence tracker (see the sizing note at its construction).
+func NewLohHill(name string, sets uint64, ways int, l4 *dram.Memory, mem *MainMemory, hooks Hooks, opts LHOpts) *LohHill {
+	cfg := l4.Config()
+	l := &LohHill{
+		name:     name,
+		opts:     opts,
+		tags:     sram.New(sets, ways),
+		channels: uint64(cfg.Channels),
+		banks:    uint64(cfg.Banks),
+		l4:       l4,
+		mem:      mem,
+		hooks:    hooks,
+	}
+	if opts.UseDIP {
+		l.dip = core.NewDIP(1024)
+	}
+	if opts.MissMapLatency > 0 {
+		// The BEAR paper idealises the MissMap ("same latency as the LLC",
+		// no capacity effects), so it is sized generously here — one
+		// segment entry per 8 cache lines — while keeping real capacity
+		// semantics (segment evictions force line evictions) so the
+		// structure remains testable and sparse workloads still pay for
+		// poor segment density.
+		segments := sets * uint64(ways) / 8
+		if segments < 64 {
+			segments = 64
+		}
+		l.mm = NewMissMap(segments, 16, 64, l.missMapEvict)
+	}
+	return l
+}
+
+// missMapEvict handles the forced eviction of a line whose MissMap segment
+// entry was replaced: the line must leave the DRAM cache (its presence can
+// no longer be tracked). A dirty casualty is recovered and written to
+// memory, costing a victim read — the MissMap's hidden tax.
+func (l *LohHill) missMapEvict(line uint64) {
+	ln, ok := l.tags.Invalidate(line)
+	if !ok {
+		return
+	}
+	if l.hooks.OnEvict != nil {
+		l.hooks.OnEvict(line)
+	}
+	if ln.Dirty {
+		set := l.tags.SetIndex(line)
+		ch, bk, row := l.locate(set)
+		l.st.AddBytes(stats.VictimRead, lhDataBytes)
+		wl := line
+		l.l4.Read(l.lastNow, ch, bk, row, lhDataBytes, func(t uint64) {
+			l.mem.WriteLine(t, wl)
+		})
+	}
+}
+
+// Name implements Cache.
+func (l *LohHill) Name() string { return l.name }
+
+// Stats implements Cache.
+func (l *LohHill) Stats() *stats.L4 { return &l.st }
+
+// Contains implements Cache.
+func (l *LohHill) Contains(line uint64) bool {
+	_, ok := l.tags.Lookup(line)
+	return ok
+}
+
+// present answers the residency question the way the design would: via the
+// MissMap when one exists, else via the tags (the Mostly-Clean perfect
+// predictor).
+func (l *LohHill) present(line uint64) bool {
+	if l.mm != nil {
+		return l.mm.Present(line)
+	}
+	_, ok := l.tags.Lookup(line)
+	return ok
+}
+
+// fill installs a line in the tag array and the MissMap, routing evictions.
+// Under DIP the insertion position follows the duel's current winner.
+func (l *LohHill) fill(line uint64) sram.Eviction {
+	var ev sram.Eviction
+	if l.dip != nil && !l.dip.InsertAtMRU(l.tags.SetIndex(line)) {
+		ev = l.tags.FillLRU(line, false, 0)
+	} else {
+		ev = l.tags.Fill(line, false, 0)
+	}
+	if ev.Valid {
+		if l.mm != nil {
+			l.mm.Clear(ev.Addr)
+		}
+		if l.hooks.OnEvict != nil {
+			l.hooks.OnEvict(ev.Addr)
+		}
+	}
+	if l.mm != nil {
+		l.mm.Set(line)
+	}
+	return ev
+}
+
+// Install implements Cache: a free functional fill used for pre-warming.
+func (l *LohHill) Install(line uint64) {
+	if _, ok := l.tags.Lookup(line); !ok {
+		l.fill(line)
+	}
+}
+
+// locate maps a set (row) to DRAM coordinates.
+func (l *LohHill) locate(set uint64) (ch, bk int, row uint64) {
+	ch = int(set % l.channels)
+	rest := set / l.channels
+	bk = int(rest % l.banks)
+	row = rest / l.banks
+	return ch, bk, row
+}
+
+// Read implements Cache.
+func (l *LohHill) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
+	l.lastNow = now
+	set := l.tags.SetIndex(line)
+	ch, bk, row := l.locate(set)
+	present := l.present(line)
+	start := now + l.opts.MissMapLatency
+
+	if present {
+		l.tags.Access(line, false) // LRU promotion
+		// Tag read, then the data line from the now-open row, then the
+		// LRU-state write-back (footnote 3's replacement-update bloat).
+		l.l4.Read(start, ch, bk, row, lhTagBytes, func(t uint64) {
+			l.st.AddBytes(stats.HitProbe, lhTagBytes)
+			l.l4.Read(t, ch, bk, row, lhDataBytes, func(t2 uint64) {
+				l.st.AddBytes(stats.HitProbe, lhDataBytes)
+				l.st.Hit(t2 - now)
+				l.st.AddBytes(stats.ReplUpdate, lhDataBytes)
+				l.l4.Write(t2, ch, bk, row, lhDataBytes)
+				done(t2, ReadResult{FromL4: true, InL4: true})
+			})
+		})
+		return
+	}
+
+	// Miss: both the MissMap and the Mostly-Clean perfect predictor avoid
+	// the Miss Probe entirely and dispatch to memory. Fill always.
+	if l.dip != nil {
+		l.dip.RecordMiss(set)
+	}
+	ev := l.fill(line)
+	l.mem.ReadLine(start, line, func(t uint64) {
+		l.st.Miss(t - now)
+		l.st.Fills++
+		l.st.AddBytes(stats.MissFill, lhFillBytes)
+		l.l4.Write(t, ch, bk, row, lhFillBytes)
+		if ev.Valid && ev.Dirty {
+			// The victim's data must be recovered before it is lost.
+			l.st.AddBytes(stats.VictimRead, lhDataBytes)
+			l.l4.Read(t, ch, bk, row, lhDataBytes, func(t2 uint64) {
+				l.mem.WriteLine(t2, ev.Addr)
+			})
+		}
+		done(t, ReadResult{FromL4: false, InL4: true})
+	})
+}
+
+// Writeback implements Cache.
+func (l *LohHill) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
+	l.lastNow = now
+	set := l.tags.SetIndex(line)
+	ch, bk, row := l.locate(set)
+	present := l.present(line)
+	start := now + l.opts.MissMapLatency
+
+	if l.opts.MissMapLatency > 0 || pres != core.PresUnknown {
+		// The MissMap (or a DCP bit) answers presence: no probe needed.
+		if present {
+			l.tags.SetDirty(line)
+			l.st.WBHits++
+			l.st.AddBytes(stats.WBUpdate, lhFillBytes)
+			l.l4.Write(start, ch, bk, row, lhFillBytes)
+		} else {
+			l.st.WBMisses++
+			l.mem.WriteLine(start, line)
+		}
+		return
+	}
+
+	// Mostly-Clean: writebacks must probe the tag lines.
+	if present {
+		l.tags.SetDirty(line)
+	}
+	l.l4.Read(start, ch, bk, row, lhTagBytes, func(t uint64) {
+		l.st.AddBytes(stats.WBProbe, lhTagBytes)
+		if present {
+			l.st.WBHits++
+			l.st.AddBytes(stats.WBUpdate, lhFillBytes)
+			l.l4.Write(t, ch, bk, row, lhFillBytes)
+		} else {
+			l.st.WBMisses++
+			l.mem.WriteLine(t, line)
+		}
+	})
+}
+
+var _ Cache = (*LohHill)(nil)

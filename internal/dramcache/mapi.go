@@ -1,0 +1,73 @@
+package dramcache
+
+// MAPI is the Memory Access Predictor, Instruction-based (MAP-I) from the
+// Alloy-cache paper, which the BEAR baseline adopts: per-core tables of
+// 3-bit saturating counters indexed by a hash of the missing load's
+// instruction address. A counter >= the midpoint predicts an L4 hit (probe
+// first, serial memory access); below it predicts a miss (probe and access
+// memory in parallel).
+type MAPI struct {
+	tables  [][]uint8
+	entries uint64
+
+	// Correct / incorrect predictions, for diagnostics.
+	Right, Wrong uint64
+}
+
+// NewMAPI builds per-core predictor tables with the given entry count
+// (256 3-bit counters per core in the Alloy paper).
+func NewMAPI(cores, entries int) *MAPI {
+	p := &MAPI{entries: uint64(entries)}
+	p.tables = make([][]uint8, cores)
+	for i := range p.tables {
+		t := make([]uint8, entries)
+		for j := range t {
+			t[j] = 5 // bias toward predicting hit, avoiding wasted memory traffic
+		}
+		p.tables[i] = t
+	}
+	return p
+}
+
+func (p *MAPI) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ (pc >> 11)) % p.entries
+}
+
+// Predict returns true if the access is predicted to hit in the DRAM cache.
+func (p *MAPI) Predict(coreID int, pc uint64) bool {
+	if coreID >= len(p.tables) {
+		coreID = 0
+	}
+	return p.tables[coreID][p.index(pc)] >= 4
+}
+
+// Update trains the predictor with the access's actual outcome and records
+// accuracy against the prediction that was just made.
+func (p *MAPI) Update(coreID int, pc uint64, hit bool) {
+	if coreID >= len(p.tables) {
+		coreID = 0
+	}
+	c := &p.tables[coreID][p.index(pc)]
+	predictedHit := *c >= 4
+	if predictedHit == hit {
+		p.Right++
+	} else {
+		p.Wrong++
+	}
+	if hit {
+		if *c < 7 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (p *MAPI) Accuracy() float64 {
+	t := p.Right + p.Wrong
+	if t == 0 {
+		return 0
+	}
+	return float64(p.Right) / float64(t)
+}

@@ -1,0 +1,223 @@
+package dramcache
+
+import (
+	"bear/internal/core"
+	"bear/internal/dram"
+	"bear/internal/sram"
+	"bear/internal/stats"
+)
+
+// Sector is the Sector-Cache design of Section 8 (a Footprint-cache-style
+// organisation without the prefetcher): tags are kept at 4 KB-sector
+// granularity in an idealised 6 MB on-chip SRAM, with per-line valid and
+// dirty bits. Probes are free, but a sector replacement must recover every
+// dirty line of the victim sector from the DRAM cache and write it to
+// memory — the dirty-replacement penalty the paper identifies as SC's
+// downfall.
+type Sector struct {
+	name string
+
+	tags       *sram.Cache // keyed by sector address
+	ways       uint64
+	linesPer   uint64 // lines per sector (64 for 4 KB sectors)
+	validBits  []uint64
+	dirtyBits  []uint64
+	frameOfSec map[uint64]uint64 // resident sector -> frame index
+
+	channels uint64
+	banks    uint64
+	lpr      uint64
+
+	l4    *dram.Memory
+	mem   *MainMemory
+	hooks Hooks
+	st    stats.L4
+}
+
+// NewSector builds a sector cache of `lines` total data lines, grouped into
+// sectors of sectorLines lines (must be <= 64), with the given sector
+// associativity.
+func NewSector(name string, lines uint64, sectorLines uint64, ways int, l4 *dram.Memory, mem *MainMemory, hooks Hooks) *Sector {
+	if sectorLines == 0 || sectorLines > 64 {
+		panic("dramcache: sector size must be 1..64 lines")
+	}
+	cfg := l4.Config()
+	sectors := lines / sectorLines
+	sets := sectors / uint64(ways)
+	if sets == 0 {
+		sets = 1
+	}
+	frames := sets * uint64(ways)
+	return &Sector{
+		name:       name,
+		tags:       sram.New(sets, ways),
+		ways:       uint64(ways),
+		linesPer:   sectorLines,
+		validBits:  make([]uint64, frames),
+		dirtyBits:  make([]uint64, frames),
+		frameOfSec: make(map[uint64]uint64),
+		channels:   uint64(cfg.Channels),
+		banks:      uint64(cfg.Banks),
+		lpr:        uint64(cfg.RowBytes / 64),
+		l4:         l4,
+		mem:        mem,
+		hooks:      hooks,
+	}
+}
+
+// Name implements Cache.
+func (c *Sector) Name() string { return c.name }
+
+// Stats implements Cache.
+func (c *Sector) Stats() *stats.L4 { return &c.st }
+
+func (c *Sector) sectorOf(line uint64) (sector, offset uint64) {
+	return line / c.linesPer, line % c.linesPer
+}
+
+// Contains implements Cache.
+func (c *Sector) Contains(line uint64) bool {
+	sector, off := c.sectorOf(line)
+	if _, ok := c.tags.Lookup(sector); !ok {
+		return false
+	}
+	f := c.frameOfSec[sector]
+	return c.validBits[f]&(1<<off) != 0
+}
+
+// Install implements Cache: a free functional fill used for pre-warming.
+func (c *Sector) Install(line uint64) {
+	sector, off := c.sectorOf(line)
+	var frame uint64
+	if _, ok := c.tags.Lookup(sector); ok {
+		frame = c.frameOfSec[sector]
+	} else {
+		set := c.tags.SetIndex(sector)
+		way := c.tags.VictimWay(sector)
+		frame = set*c.ways + uint64(way)
+		ev := c.tags.Fill(sector, false, 0)
+		if ev.Valid {
+			delete(c.frameOfSec, ev.Addr)
+		}
+		c.validBits[frame] = 0
+		c.dirtyBits[frame] = 0
+		c.frameOfSec[sector] = frame
+	}
+	c.validBits[frame] |= 1 << off
+}
+
+// locateLine maps a (frame, offset) to DRAM coordinates.
+func (c *Sector) locateLine(frame, offset uint64) (ch, bk int, row uint64) {
+	unit := (frame*c.linesPer + offset) / c.lpr
+	ch = int(unit % c.channels)
+	rest := unit / c.channels
+	bk = int(rest % c.banks)
+	row = rest / c.banks
+	return ch, bk, row
+}
+
+// allocSector installs a sector, evicting a victim sector if needed, and
+// returns the new sector's frame. Dirty victim lines are read from the
+// DRAM cache and forwarded to memory at time now.
+func (c *Sector) allocSector(now uint64, sector uint64) uint64 {
+	set := c.tags.SetIndex(sector)
+	way := c.tags.VictimWay(sector)
+	frame := set*c.ways + uint64(way)
+	ev := c.tags.Fill(sector, false, 0)
+	if ev.Valid {
+		delete(c.frameOfSec, ev.Addr)
+		valid, dirty := c.validBits[frame], c.dirtyBits[frame]
+		for off := uint64(0); off < c.linesPer; off++ {
+			bit := uint64(1) << off
+			if valid&bit == 0 {
+				continue
+			}
+			victimLine := ev.Addr*c.linesPer + off
+			if c.hooks.OnEvict != nil {
+				c.hooks.OnEvict(victimLine)
+			}
+			if dirty&bit != 0 {
+				// Recover the dirty line before the frame is reused.
+				c.st.AddBytes(stats.VictimRead, 64)
+				ch, bk, row := c.locateLine(frame, off)
+				wl := victimLine
+				c.l4.Read(now, ch, bk, row, 64, func(t uint64) {
+					c.mem.WriteLine(t, wl)
+				})
+			}
+		}
+	}
+	c.validBits[frame] = 0
+	c.dirtyBits[frame] = 0
+	c.frameOfSec[sector] = frame
+	return frame
+}
+
+// Read implements Cache.
+func (c *Sector) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
+	sector, off := c.sectorOf(line)
+	bit := uint64(1) << off
+
+	if _, ok := c.tags.Lookup(sector); ok {
+		frame := c.frameOfSec[sector]
+		c.tags.Access(sector, false)
+		if c.validBits[frame]&bit != 0 {
+			ch, bk, row := c.locateLine(frame, off)
+			c.l4.Read(now, ch, bk, row, 64, func(t uint64) {
+				c.st.ReadHits++
+				c.st.AddBytes(stats.HitProbe, 64)
+				c.st.HitLatSum += t - now
+				done(t, ReadResult{FromL4: true, InL4: true})
+			})
+			return
+		}
+		// Sector present, line absent: fetch and fill just the line.
+		c.validBits[frame] |= bit
+		c.fillLine(now, frame, off, line, done)
+		return
+	}
+
+	// Sector miss: allocate (paying any dirty-victim recovery) then fill.
+	frame := c.allocSector(now, sector)
+	c.validBits[frame] |= bit
+	c.fillLine(now, frame, off, line, done)
+}
+
+func (c *Sector) fillLine(now uint64, frame, off, line uint64, done func(uint64, ReadResult)) {
+	ch, bk, row := c.locateLine(frame, off)
+	c.mem.ReadLine(now, line, func(t uint64) {
+		c.st.Miss(t - now)
+		c.st.Fills++
+		c.st.AddBytes(stats.MissFill, 64)
+		c.l4.Write(t, ch, bk, row, 64)
+		done(t, ReadResult{FromL4: false, InL4: true})
+	})
+}
+
+// Writeback implements Cache.
+func (c *Sector) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
+	sector, off := c.sectorOf(line)
+	bit := uint64(1) << off
+	if _, ok := c.tags.Lookup(sector); ok {
+		frame := c.frameOfSec[sector]
+		ch, bk, row := c.locateLine(frame, off)
+		if c.validBits[frame]&bit != 0 {
+			c.st.WBHits++
+			c.dirtyBits[frame] |= bit
+			c.st.AddBytes(stats.WBUpdate, 64)
+			c.l4.Write(now, ch, bk, row, 64)
+			return
+		}
+		// Sector resident but line absent: writeback-fill into the sector.
+		c.validBits[frame] |= bit
+		c.dirtyBits[frame] |= bit
+		c.st.WBHits++
+		c.st.AddBytes(stats.WBFill, 64)
+		c.l4.Write(now, ch, bk, row, 64)
+		return
+	}
+	c.st.WBMisses++
+	c.mem.WriteLine(now, line)
+}
+
+var _ Cache = (*Sector)(nil)

@@ -1,0 +1,132 @@
+package dramcache
+
+import (
+	"bear/internal/core"
+	"bear/internal/dram"
+	"bear/internal/sram"
+	"bear/internal/stats"
+)
+
+// TIS is the Tags-In-SRAM design of Section 8: an idealised on-chip SRAM
+// holds all tags (64 MB at full scale, un-penalised for storage or access
+// latency, per the paper's methodology) in front of a 32-way data store in
+// stacked DRAM. Probes are free; only data movement touches the DRAM-cache
+// bus, so hits move exactly 64 B — but Miss Fills, Writeback Updates and
+// dirty-victim reads still bloat the bus.
+type TIS struct {
+	name string
+
+	tags     *sram.Cache
+	ways     uint64
+	channels uint64
+	banks    uint64
+	lpr      uint64 // data lines per DRAM row
+
+	l4    *dram.Memory
+	mem   *MainMemory
+	hooks Hooks
+	st    stats.L4
+}
+
+// NewTIS builds a Tags-In-SRAM cache holding `lines` data lines with the
+// given associativity.
+func NewTIS(name string, lines uint64, ways int, l4 *dram.Memory, mem *MainMemory, hooks Hooks) *TIS {
+	cfg := l4.Config()
+	sets := lines / uint64(ways)
+	if sets == 0 {
+		sets = 1
+	}
+	return &TIS{
+		name:     name,
+		tags:     sram.New(sets, ways),
+		ways:     uint64(ways),
+		channels: uint64(cfg.Channels),
+		banks:    uint64(cfg.Banks),
+		lpr:      uint64(cfg.RowBytes / 64),
+		l4:       l4,
+		mem:      mem,
+		hooks:    hooks,
+	}
+}
+
+// Name implements Cache.
+func (c *TIS) Name() string { return c.name }
+
+// Stats implements Cache.
+func (c *TIS) Stats() *stats.L4 { return &c.st }
+
+// Contains implements Cache.
+func (c *TIS) Contains(line uint64) bool {
+	_, ok := c.tags.Lookup(line)
+	return ok
+}
+
+// Install implements Cache: a free functional fill used for pre-warming.
+func (c *TIS) Install(line uint64) {
+	if _, ok := c.tags.Lookup(line); !ok {
+		c.tags.Fill(line, false, 0)
+	}
+}
+
+// locateFrame maps a (set, way) data frame to DRAM coordinates.
+func (c *TIS) locateFrame(set uint64, way int) (ch, bk int, row uint64) {
+	unit := (set*c.ways + uint64(way)) / c.lpr
+	ch = int(unit % c.channels)
+	rest := unit / c.channels
+	bk = int(rest % c.banks)
+	row = rest / c.banks
+	return ch, bk, row
+}
+
+// Read implements Cache.
+func (c *TIS) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
+	set := c.tags.SetIndex(line)
+	if way, ok := c.tags.WayOf(line); ok {
+		c.tags.Access(line, false)
+		ch, bk, row := c.locateFrame(set, way)
+		c.l4.Read(now, ch, bk, row, 64, func(t uint64) {
+			c.st.AddBytes(stats.HitProbe, 64)
+			c.st.Hit(t - now)
+			done(t, ReadResult{FromL4: true, InL4: true})
+		})
+		return
+	}
+
+	// Miss: tags answer instantly (idealised SRAM); memory fetch and fill.
+	way := c.tags.VictimWay(line)
+	ev := c.tags.Fill(line, false, 0)
+	ch, bk, row := c.locateFrame(set, way)
+	if ev.Valid && c.hooks.OnEvict != nil {
+		c.hooks.OnEvict(ev.Addr)
+	}
+	c.mem.ReadLine(now, line, func(t uint64) {
+		c.st.Miss(t - now)
+		c.st.Fills++
+		c.st.AddBytes(stats.MissFill, 64)
+		c.l4.Write(t, ch, bk, row, 64)
+		if ev.Valid && ev.Dirty {
+			c.st.AddBytes(stats.VictimRead, 64)
+			c.l4.Read(t, ch, bk, row, 64, func(t2 uint64) {
+				c.mem.WriteLine(t2, ev.Addr)
+			})
+		}
+		done(t, ReadResult{FromL4: false, InL4: true})
+	})
+}
+
+// Writeback implements Cache.
+func (c *TIS) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
+	set := c.tags.SetIndex(line)
+	if way, ok := c.tags.WayOf(line); ok {
+		c.tags.SetDirty(line)
+		c.st.WBHits++
+		ch, bk, row := c.locateFrame(set, way)
+		c.st.AddBytes(stats.WBUpdate, 64)
+		c.l4.Write(now, ch, bk, row, 64)
+		return
+	}
+	c.st.WBMisses++
+	c.mem.WriteLine(now, line)
+}
+
+var _ Cache = (*TIS)(nil)

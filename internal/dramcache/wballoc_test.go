@@ -1,0 +1,109 @@
+package dramcache
+
+import (
+	"testing"
+
+	"bear/internal/config"
+	"bear/internal/core"
+	"bear/internal/stats"
+)
+
+func TestWBAllocateFillsOnMiss(t *testing.T) {
+	f := newFixture()
+	a := newAlloy(f, AlloyOpts{WBAllocate: true})
+	a.Writeback(f.q.Now(), 0, 200, core.PresUnknown)
+	f.drain()
+	st := a.Stats()
+	if st.Bytes[stats.WBProbe] != 80 || st.Bytes[stats.WBFill] != 80 {
+		t.Fatalf("wb-allocate miss bytes = %v", st.Bytes)
+	}
+	if !a.Contains(200) {
+		t.Fatal("writeback miss did not allocate")
+	}
+	if f.mem.D.Stats.Writes != 0 {
+		t.Fatal("allocated writeback still went to memory")
+	}
+	// The allocated line is dirty: a conflicting fill must recover it.
+	memW := f.mem.D.Stats.Writes
+	read(t, f, a, 256) // same set as 200 (mod 56)
+	if f.mem.D.Stats.Writes != memW+1 {
+		t.Fatal("dirty wb-allocated victim lost")
+	}
+}
+
+func TestWBAllocateDirtyVictimRecovered(t *testing.T) {
+	f := newFixture()
+	a := newAlloy(f, AlloyOpts{WBAllocate: true})
+	// Dirty resident line in the target set.
+	a.Install(200)
+	a.Writeback(f.q.Now(), 0, 200, core.PresUnknown) // hit: now dirty
+	f.drain()
+	memW := f.mem.D.Stats.Writes
+	a.Writeback(f.q.Now(), 0, 256, core.PresUnknown) // miss: allocates over dirty 200
+	f.drain()
+	if f.mem.D.Stats.Writes != memW+1 {
+		t.Fatal("dirty victim of a writeback fill not written to memory")
+	}
+	if !a.Contains(256) || a.Contains(200) {
+		t.Fatal("writeback fill state wrong")
+	}
+}
+
+func TestWBAllocateWithDCPAbsentStillProbes(t *testing.T) {
+	// Section 5.2: under allocate, DCP=absent still requires a probe
+	// before the Writeback Fill.
+	f := newFixture()
+	a := newAlloy(f, AlloyOpts{WBAllocate: true})
+	a.Writeback(f.q.Now(), 0, 200, core.PresAbsent)
+	f.drain()
+	st := a.Stats()
+	if st.Bytes[stats.WBProbe] != 80 {
+		t.Fatalf("DCP-absent + allocate skipped the probe: %v", st.Bytes)
+	}
+	if st.DCPProbesSaved != 0 {
+		t.Fatal("probe counted as saved despite allocate policy")
+	}
+}
+
+func TestPredictorModes(t *testing.T) {
+	// Perfect prediction must not issue wasted parallel memory reads on
+	// hits and must parallelise every miss.
+	f := newFixture()
+	a := newAlloy(f, AlloyOpts{Pred: config.PredPerfect})
+	a.Install(100)
+	memReads := f.mem.D.Stats.Reads
+	read(t, f, a, 100)
+	if f.mem.D.Stats.Reads != memReads {
+		t.Fatal("perfect predictor wasted a parallel access on a hit")
+	}
+	// Miss under perfect prediction: parallel (fast) path.
+	issue := f.q.Now()
+	_, at := read(t, f, a, 500)
+	latPerfect := at - issue
+
+	f2 := newFixture()
+	b := newAlloy(f2, AlloyOpts{Pred: config.PredAlwaysHit})
+	issue = f2.q.Now()
+	_, at = read(t, f2, b, 500)
+	latSerial := at - issue
+	if latPerfect >= latSerial {
+		t.Fatalf("perfect-predicted miss (%d) not faster than always-hit (%d)", latPerfect, latSerial)
+	}
+}
+
+func TestBuildPredictorModes(t *testing.T) {
+	for _, mode := range []config.PredMode{config.PredMAPI, config.PredPerfect, config.PredAlwaysHit} {
+		cfg := config.Default(512).WithDesign(config.Alloy)
+		cfg.Pred = mode
+		b, err := Build(cfg, newFixture().q, Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode == config.PredMAPI && b.MAPI == nil {
+			t.Error("MAP-I mode missing predictor tables")
+		}
+		if mode != config.PredMAPI && b.MAPI != nil {
+			t.Errorf("%v mode built MAP-I tables", mode)
+		}
+	}
+}

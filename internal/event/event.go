@@ -1,0 +1,107 @@
+// Package event implements the discrete-event simulation kernel.
+//
+// The simulator is organised around a single Queue of timestamped callbacks.
+// Components (cores, DRAM channels, caches) never step cycle by cycle;
+// instead they schedule a callback for the cycle at which something
+// interesting happens (a data burst finishes, a stalled core may resume).
+// Events at equal timestamps run in scheduling order, which makes every
+// simulation fully deterministic.
+package event
+
+import "container/heap"
+
+// Func is a callback invoked when simulated time reaches its scheduled cycle.
+// The argument is the current simulation time in CPU cycles.
+type Func func(now uint64)
+
+type item struct {
+	at  uint64
+	seq uint64
+	fn  Func
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a deterministic discrete-event queue. The zero value is ready to
+// use. Queue is not safe for concurrent use; the simulator is single-threaded
+// by design.
+type Queue struct {
+	h   itemHeap
+	seq uint64
+	now uint64
+}
+
+// Now returns the current simulation time in CPU cycles.
+func (q *Queue) Now() uint64 { return q.now }
+
+// At schedules fn to run at cycle at. Scheduling in the past is a programming
+// error and panics, because it would silently corrupt causality.
+func (q *Queue) At(at uint64, fn Func) {
+	if at < q.now {
+		panic("event: scheduled in the past")
+	}
+	q.seq++
+	heap.Push(&q.h, item{at: at, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *Queue) After(delay uint64, fn Func) {
+	q.At(q.now+delay, fn)
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Step runs the earliest pending event and returns true, or returns false if
+// the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	it := heap.Pop(&q.h).(item)
+	q.now = it.at
+	it.fn(q.now)
+	return true
+}
+
+// Run executes events until the queue drains or until stop returns true.
+// A nil stop runs to drain. It returns the final simulation time.
+func (q *Queue) Run(stop func() bool) uint64 {
+	for {
+		if stop != nil && stop() {
+			return q.now
+		}
+		if !q.Step() {
+			return q.now
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline (events scheduled at
+// later cycles remain queued) and advances time to deadline if the queue ran
+// dry earlier.
+func (q *Queue) RunUntil(deadline uint64) {
+	for len(q.h) > 0 && q.h[0].at <= deadline {
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}

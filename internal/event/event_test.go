@@ -1,0 +1,149 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.At(30, func(uint64) { got = append(got, 3) })
+	q.At(10, func(uint64) { got = append(got, 1) })
+	q.At(20, func(uint64) { got = append(got, 2) })
+	q.Run(nil)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if q.Now() != 30 {
+		t.Fatalf("final time = %d, want 30", q.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func(uint64) { got = append(got, i) })
+	}
+	q.Run(nil)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var q Queue
+	var trace []uint64
+	q.At(1, func(now uint64) {
+		trace = append(trace, now)
+		q.At(now+5, func(now2 uint64) {
+			trace = append(trace, now2)
+		})
+	})
+	q.Run(nil)
+	if len(trace) != 2 || trace[0] != 1 || trace[1] != 6 {
+		t.Fatalf("nested scheduling trace = %v", trace)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var q Queue
+	q.At(10, func(now uint64) {
+		q.After(7, func(now2 uint64) {
+			if now2 != 17 {
+				t.Errorf("After fired at %d, want 17", now2)
+			}
+		})
+	})
+	q.Run(nil)
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var q Queue
+	q.At(10, func(uint64) {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	q.At(5, func(uint64) {})
+}
+
+func TestStopPredicate(t *testing.T) {
+	var q Queue
+	count := 0
+	for i := 1; i <= 10; i++ {
+		q.At(uint64(i), func(uint64) { count++ })
+	}
+	q.Run(func() bool { return count >= 3 })
+	if count != 3 {
+		t.Fatalf("ran %d events, want 3", count)
+	}
+	if q.Len() != 7 {
+		t.Fatalf("queue has %d events left, want 7", q.Len())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var ran []uint64
+	for _, at := range []uint64{5, 10, 15, 20} {
+		at := at
+		q.At(at, func(uint64) { ran = append(ran, at) })
+	}
+	q.RunUntil(12)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil(12) ran %v", ran)
+	}
+	if q.Now() != 12 {
+		t.Fatalf("RunUntil left time at %d, want 12", q.Now())
+	}
+	q.RunUntil(100)
+	if len(ran) != 4 || q.Now() != 100 {
+		t.Fatalf("RunUntil(100): ran=%v now=%d", ran, q.Now())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var q Queue
+	if q.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// Property: for any schedule of events, execution order is sorted by
+// (time, insertion order).
+func TestOrderProperty(t *testing.T) {
+	if err := quick.Check(func(times []uint16) bool {
+		var q Queue
+		type rec struct {
+			at  uint64
+			seq int
+		}
+		var got []rec
+		for i, at := range times {
+			at, i := uint64(at), i
+			q.At(at, func(uint64) { got = append(got, rec{at, i}) })
+		}
+		q.Run(nil)
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

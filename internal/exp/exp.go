@@ -1,0 +1,324 @@
+// Package exp implements the paper's evaluation: one registered experiment
+// per table and figure, each regenerating the corresponding rows from live
+// simulations. cmd/bearbench and the repository's bench harness drive this
+// registry.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"bear/internal/config"
+	"bear/internal/hier"
+	"bear/internal/stats"
+	"bear/internal/trace"
+)
+
+// Params controls simulation sizes for every experiment.
+type Params struct {
+	// Scale divides the paper's machine and footprints (see config).
+	Scale int
+	// Warm and Meas are per-core instruction budgets.
+	Warm, Meas uint64
+	// Mixes is how many MIX workloads aggregate into MIX/ALL results
+	// (the paper uses 38; 8 keeps runs short).
+	Mixes int
+	Seed  uint64
+}
+
+// Default returns parameters that reproduce the paper's shapes in a few
+// minutes per experiment.
+func Default() Params {
+	return Params{Scale: 64, Warm: 600_000, Meas: 1_200_000, Mixes: 8, Seed: 1}
+}
+
+// Quick returns parameters for smoke-testing experiments in seconds.
+func Quick() Params {
+	return Params{Scale: 256, Warm: 100_000, Meas: 250_000, Mixes: 2, Seed: 1}
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID       string
+	Title    string
+	Artifact string // "Figure 3", "Table 4", ...
+	About    string // workloads, parameters and modules exercised
+	Run      func(p Params, w io.Writer, r *Runner) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// IDs lists all experiment ids.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// spec identifies a system configuration for the memo cache.
+type spec struct {
+	design     config.Design
+	bypass     config.BypassPolicy
+	prob       float64
+	dcp, ntc   bool
+	channels   int
+	banks      int
+	capacityMB int64
+	ntcEntries int // 0 = paper default (8)
+	pred       config.PredMode
+	wbAllocate bool
+	ttc        bool
+	lhDIP      bool
+}
+
+// baseSpec returns the paper-default system for a design (BEAR expands to
+// its three components).
+func baseSpec(d config.Design) spec {
+	s := spec{design: d, prob: 0.9}
+	if d == config.BEAR {
+		s.bypass = config.BandwidthAware
+		s.dcp, s.ntc = true, true
+	}
+	return s
+}
+
+func (s spec) build(p Params) config.System {
+	sys := config.Default(p.Scale)
+	sys.Design = s.design
+	sys.Bypass = s.bypass
+	sys.BypassProb = s.prob
+	sys.UseDCP = s.dcp
+	sys.UseNTC = s.ntc
+	if s.channels > 0 {
+		sys.L4.Channels = s.channels
+	}
+	if s.banks > 0 {
+		sys.L4.Banks = s.banks
+	}
+	if s.capacityMB > 0 {
+		sys.CacheBytes = s.capacityMB << 20 / int64(p.Scale)
+	}
+	if s.ntcEntries > 0 {
+		sys.NTCEntriesPerBank = s.ntcEntries
+	}
+	sys.Pred = s.pred
+	sys.WBAllocate = s.wbAllocate
+	sys.UseTTC = s.ttc
+	sys.LHUseDIP = s.lhDIP
+	sys.Seed = p.Seed
+	return sys
+}
+
+func (s spec) key(workload string, p Params) string {
+	return fmt.Sprintf("%v|%v|%.2f|%v|%v|%v|%v|%d|%d|%d|%d|%v|%v|%s|%d|%d|%d|%d",
+		s.design, s.bypass, s.prob, s.dcp, s.ntc, s.ttc, s.lhDIP, s.channels,
+		s.banks, s.capacityMB, s.ntcEntries, s.pred, s.wbAllocate,
+		workload, p.Scale, p.Warm, p.Meas, p.Seed)
+}
+
+// Runner executes simulations with memoisation, so experiments sharing a
+// configuration (every figure reuses the Alloy baseline) run it once.
+type Runner struct {
+	p     Params
+	memo  map[string]*stats.Run
+	Log   io.Writer // optional progress sink
+	Count int       // simulations actually executed
+}
+
+// NewRunner builds a runner for the given parameters.
+func NewRunner(p Params) *Runner {
+	return &Runner{p: p, memo: make(map[string]*stats.Run)}
+}
+
+func (r *Runner) progress(format string, args ...interface{}) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format, args...)
+	}
+}
+
+func (r *Runner) run(s spec, wlName string, mk func() (trace.Workload, error)) (*stats.Run, error) {
+	key := s.key(wlName, r.p)
+	if res, ok := r.memo[key]; ok {
+		return res, nil
+	}
+	wl, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	sys := s.build(r.p)
+	sim, err := hier.NewSim(sys, wl, r.p.Warm, r.p.Meas)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	r.Count++
+	r.progress("  [%3d] %-10s %-10s bloat=%5.2f hit=%4.1f%% hitlat=%4.0f ipc=%5.2f\n",
+		r.Count, wlName, sys.Design, res.L4.BloatFactor(), 100*res.L4.HitRate(),
+		res.L4.AvgHitLatency(), res.IPC())
+	r.memo[key] = res
+	return res, nil
+}
+
+// Rate runs (or recalls) the rate-mode workload for a benchmark.
+func (r *Runner) Rate(s spec, bench string) (*stats.Run, error) {
+	cores := config.Default(r.p.Scale).Core.Count
+	return r.run(s, bench, func() (trace.Workload, error) {
+		return trace.Rate(bench, cores, r.p.Scale, r.p.Seed)
+	})
+}
+
+// Mix runs (or recalls) mixed workload n.
+func (r *Runner) Mix(s spec, n int) (*stats.Run, error) {
+	cores := config.Default(r.p.Scale).Core.Count
+	return r.run(s, fmt.Sprintf("MIX%d", n), func() (trace.Workload, error) {
+		return trace.Mix(n, cores, r.p.Scale, r.p.Seed)
+	})
+}
+
+// Single runs (or recalls) a benchmark alone on one core, for Equation 2's
+// single-program IPC denominators.
+func (r *Runner) Single(s spec, bench string) (*stats.Run, error) {
+	cores := config.Default(r.p.Scale).Core.Count
+	return r.run(s, bench+"@single", func() (trace.Workload, error) {
+		return trace.Single(bench, cores, r.p.Scale, r.p.Seed)
+	})
+}
+
+// aggregate combines runs byte-weighted for bandwidth metrics.
+type aggregate struct {
+	l4 stats.L4
+}
+
+func (a *aggregate) add(r *stats.Run) {
+	src := &r.L4
+	for i := range a.l4.Bytes {
+		a.l4.Bytes[i] += src.Bytes[i]
+	}
+	a.l4.ReadHits += src.ReadHits
+	a.l4.ReadMisses += src.ReadMisses
+	a.l4.WBHits += src.WBHits
+	a.l4.WBMisses += src.WBMisses
+	a.l4.HitLatSum += src.HitLatSum
+	a.l4.MissLatSum += src.MissLatSum
+	a.l4.Fills += src.Fills
+	a.l4.Bypasses += src.Bypasses
+}
+
+// rateSpeedups returns per-benchmark speedups of s over base, in catalog
+// order, plus the geometric mean.
+func (r *Runner) rateSpeedups(s, base spec) (map[string]float64, float64, error) {
+	per := map[string]float64{}
+	var all []float64
+	for _, name := range trace.RateNames() {
+		b, err := r.Rate(base, name)
+		if err != nil {
+			return nil, 0, err
+		}
+		v, err := r.Rate(s, name)
+		if err != nil {
+			return nil, 0, err
+		}
+		sp := v.Speedup(b)
+		per[name] = sp
+		all = append(all, sp)
+	}
+	return per, stats.GeoMean(all), nil
+}
+
+// mixNormWS returns normalized weighted speedups of s over base for the
+// first n mixes, plus the geometric mean. Weighted speedup uses Equation 2
+// with single-program IPCs measured per design.
+func (r *Runner) mixNormWS(s, base spec, n int) (map[string]float64, float64, error) {
+	singles := func(sp spec, benchs []trace.Benchmark) ([]float64, error) {
+		out := make([]float64, len(benchs))
+		for i, b := range benchs {
+			run, err := r.Single(sp, b.Name)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = run.CoreIPC[0]
+		}
+		return out, nil
+	}
+	cores := config.Default(r.p.Scale).Core.Count
+	per := map[string]float64{}
+	var all []float64
+	for m := 1; m <= n; m++ {
+		wl, err := trace.Mix(m, cores, r.p.Scale, r.p.Seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		bRun, err := r.Mix(base, m)
+		if err != nil {
+			return nil, 0, err
+		}
+		vRun, err := r.Mix(s, m)
+		if err != nil {
+			return nil, 0, err
+		}
+		bSingles, err := singles(base, wl.Benchs)
+		if err != nil {
+			return nil, 0, err
+		}
+		vSingles, err := singles(s, wl.Benchs)
+		if err != nil {
+			return nil, 0, err
+		}
+		bWS := bRun.WeightedSpeedup(bSingles)
+		vWS := vRun.WeightedSpeedup(vSingles)
+		if bWS <= 0 {
+			continue
+		}
+		norm := vWS / bWS
+		per[wl.Name] = norm
+		all = append(all, norm)
+	}
+	return per, stats.GeoMean(all), nil
+}
+
+// allGeomean merges rate and mix relative performance into the paper's
+// RATE / MIX / ALL triple.
+func (r *Runner) allGeomean(s, base spec) (rate, mix, all float64, err error) {
+	perRate, rateG, err := r.rateSpeedups(s, base)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	perMix, mixG, err := r.mixNormWS(s, base, r.p.Mixes)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var xs []float64
+	for _, v := range perRate {
+		xs = append(xs, v)
+	}
+	for _, v := range perMix {
+		xs = append(xs, v)
+	}
+	return rateG, mixG, stats.GeoMean(xs), nil
+}

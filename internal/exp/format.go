@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table renders aligned text tables for experiment output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) row(cells ...interface{}) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = fmt.Sprintf("%.2f", v)
+		case int:
+			out[i] = fmt.Sprintf("%d", v)
+		case uint64:
+			out[i] = fmt.Sprintf("%d", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, out)
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.header)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func cyc(x float64) string { return fmt.Sprintf("%.0f", x) }
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}

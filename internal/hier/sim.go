@@ -1,0 +1,146 @@
+package hier
+
+import (
+	"fmt"
+
+	"bear/internal/config"
+	"bear/internal/cpu"
+	"bear/internal/dram"
+	"bear/internal/dramcache"
+	"bear/internal/event"
+	"bear/internal/stats"
+	"bear/internal/trace"
+)
+
+// Sim assembles and runs one complete simulation: cores driving a hierarchy
+// over an L4 design, with a warm-up phase before measurement.
+type Sim struct {
+	Cfg      config.System
+	Workload trace.Workload
+
+	Q      *event.Queue
+	Hier   *Hierarchy
+	Bundle *dramcache.Bundle
+	Cores  []*cpu.Core
+
+	warmLeft   int
+	finishLeft int
+	MarkTime   uint64
+}
+
+// NewSim builds a simulation of cfg running workload, where each core
+// executes warm instructions before measurement and meas instructions
+// during it.
+func NewSim(cfg config.System, wl trace.Workload, warm, meas uint64) (*Sim, error) {
+	if len(wl.Sources) == 0 {
+		return nil, fmt.Errorf("hier: workload %q has no sources", wl.Name)
+	}
+	s := &Sim{Cfg: cfg, Workload: wl, Q: &event.Queue{}}
+	cores := len(wl.Sources)
+	s.Hier = New(cfg, s.Q, cores)
+	bundle, err := dramcache.Build(cfg, s.Q, s.Hier.Hooks())
+	if err != nil {
+		return nil, err
+	}
+	s.Bundle = bundle
+	s.Hier.AttachL4(bundle.Cache)
+
+	s.warmLeft = cores
+	s.finishLeft = cores
+	for i := 0; i < cores; i++ {
+		c := cpu.New(i, cfg.Core, s.Q, wl.Sources[i], s.Hier, warm, meas,
+			s.onWarm, s.onFinish)
+		s.Cores = append(s.Cores, c)
+	}
+	s.prewarm()
+	return s, nil
+}
+
+// prewarm functionally installs each workload's steady-state residency into
+// the L4 before any timed instruction executes. Cores interleave so that
+// conflict evictions in the direct-mapped designs are shared fairly, as they
+// would be in steady state.
+func (s *Sim) prewarm() {
+	cores := len(s.Workload.Sources)
+	fair := uint64(s.Cfg.CacheBytes) / config.TADBytes / uint64(cores)
+	lists := make([][]uint64, cores)
+	for i, src := range s.Workload.Sources {
+		p, ok := src.(trace.Prewarmer)
+		if !ok {
+			continue
+		}
+		p.Prewarm(fair, func(line uint64) { lists[i] = append(lists[i], line) })
+	}
+	for pos := 0; ; pos++ {
+		any := false
+		for i := range lists {
+			if pos < len(lists[i]) {
+				s.Bundle.Cache.Install(lists[i][pos])
+				any = true
+			}
+		}
+		if !any {
+			return
+		}
+	}
+}
+
+func (s *Sim) onWarm(coreID int) {
+	s.warmLeft--
+	if s.warmLeft == 0 {
+		s.MarkTime = s.Q.Now()
+		s.resetStats()
+	}
+}
+
+func (s *Sim) onFinish(coreID int, now uint64) { s.finishLeft-- }
+
+// resetStats zeroes all measured counters at the warm boundary, and clears
+// the BAB duelling monitors so mode decisions reflect steady-state rather
+// than cold-cache behaviour.
+func (s *Sim) resetStats() {
+	s.Bundle.Cache.Stats().Reset()
+	s.Bundle.MemDRAM.Stats = dram.Stats{}
+	if s.Bundle.L4DRAM != nil {
+		s.Bundle.L4DRAM.Stats = dram.Stats{}
+	}
+	s.Hier.Counters = Counters{}
+	if s.Bundle.BAB != nil {
+		s.Bundle.BAB.ResetMonitors()
+	}
+}
+
+// Run executes the simulation to completion and returns the results.
+func (s *Sim) Run() (*stats.Run, error) {
+	for _, c := range s.Cores {
+		c.Start()
+	}
+	s.Q.Run(func() bool { return s.finishLeft == 0 })
+	if s.finishLeft != 0 {
+		return nil, fmt.Errorf("hier: deadlock — %d cores unfinished with empty event queue (workload %s)", s.finishLeft, s.Workload.Name)
+	}
+
+	r := &stats.Run{
+		Design:   s.Bundle.Cache.Name(),
+		Workload: s.Workload.Name,
+		L4:       *s.Bundle.Cache.Stats(),
+	}
+	var maxFinish uint64
+	for _, c := range s.Cores {
+		if c.FinishAt > maxFinish {
+			maxFinish = c.FinishAt
+		}
+		r.CoreInstr = append(r.CoreInstr, c.MeasuredInstructions())
+		r.CoreIPC = append(r.CoreIPC, c.IPC())
+		r.Instructions += c.MeasuredInstructions()
+	}
+	if maxFinish > s.MarkTime {
+		r.Cycles = maxFinish - s.MarkTime
+	}
+	r.L3Accesses = s.Hier.Counters.L3Accesses
+	r.L3Misses = s.Hier.Counters.L3Misses
+	r.L3Writebacks = s.Hier.Counters.L3Writebacks
+	r.MemReadBytes = s.Bundle.MemDRAM.Stats.ReadBytes
+	r.MemWriteBytes = s.Bundle.MemDRAM.Stats.WriteBytes
+	return r, nil
+}

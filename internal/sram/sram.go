@@ -1,0 +1,291 @@
+// Package sram models on-chip SRAM caches: set-associative, true-LRU,
+// write-back/write-allocate, with a per-line auxiliary byte used by the
+// hierarchy for architectural state such as the BEAR DCP bit. Unlike the
+// DRAM cache, SRAM caches have dedicated ports, so this model is purely
+// functional; lookup latency is charged by the hierarchy.
+//
+// The same structure also backs the Tags-In-SRAM and Sector-Cache tag
+// stores and the Loh-Hill MissMap in internal/dramcache.
+package sram
+
+import "fmt"
+
+// Line is one cache line's metadata. Addr is the full line address (byte
+// address >> 6) so evictions can be routed without tag reconstruction.
+type Line struct {
+	Addr  uint64
+	Valid bool
+	Dirty bool
+	Aux   uint8
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	Addr  uint64
+	Valid bool
+	Dirty bool
+	Aux   uint8
+}
+
+// Cache is a set-associative cache keyed by line address. The zero value is
+// not usable; call New.
+type Cache struct {
+	sets  uint64
+	ways  int
+	lines []Line   // sets*ways, row-major
+	lru   []uint32 // per-line recency stamps
+	clock uint32
+}
+
+// New creates a cache with the given geometry. sets must be > 0 and ways in
+// [1, 64].
+func New(sets uint64, ways int) *Cache {
+	if sets == 0 || ways <= 0 || ways > 64 {
+		panic(fmt.Sprintf("sram: invalid geometry sets=%d ways=%d", sets, ways))
+	}
+	return &Cache{
+		sets:  sets,
+		ways:  ways,
+		lines: make([]Line, sets*uint64(ways)),
+		lru:   make([]uint32, sets*uint64(ways)),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() uint64 { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SetIndex returns the set an address maps to.
+func (c *Cache) SetIndex(addr uint64) uint64 { return addr % c.sets }
+
+func (c *Cache) base(addr uint64) uint64 { return (addr % c.sets) * uint64(c.ways) }
+
+func (c *Cache) touch(i uint64) {
+	if c.clock == ^uint32(0) {
+		c.rescale()
+	}
+	c.clock++
+	c.lru[i] = c.clock
+}
+
+// rescale compacts recency stamps when the clock is about to overflow,
+// renumbering each set's ways by their relative order so LRU decisions are
+// unchanged.
+func (c *Cache) rescale() {
+	for s := uint64(0); s < c.sets; s++ {
+		base := s * uint64(c.ways)
+		// Insertion-sort the ways of this set by stamp (ways is small).
+		var order [64]int
+		n := c.ways
+		for w := 0; w < n; w++ {
+			order[w] = w
+		}
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && c.lru[base+uint64(order[j])] < c.lru[base+uint64(order[j-1])]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for rank := 0; rank < n; rank++ {
+			c.lru[base+uint64(order[rank])] = uint32(rank)
+		}
+	}
+	c.clock = uint32(c.ways)
+}
+
+// Lookup checks for addr without changing replacement state. It returns the
+// line's metadata and whether it was present.
+func (c *Cache) Lookup(addr uint64) (Line, bool) {
+	base := c.base(addr)
+	for w := 0; w < c.ways; w++ {
+		ln := c.lines[base+uint64(w)]
+		if ln.Valid && ln.Addr == addr {
+			return ln, true
+		}
+	}
+	return Line{}, false
+}
+
+// Access performs a demand access: on hit it refreshes LRU state, marks the
+// line dirty if write is set, and returns true.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	base := c.base(addr)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.lines[i].Valid && c.lines[i].Addr == addr {
+			if write {
+				c.lines[i].Dirty = true
+			}
+			c.touch(i)
+			return true
+		}
+	}
+	return false
+}
+
+// FillLRU installs addr like Fill but places it at the LRU position, so it
+// is the set's next victim unless promoted by a hit (bimodal/LIP insertion
+// policies).
+func (c *Cache) FillLRU(addr uint64, dirty bool, aux uint8) Eviction {
+	ev := c.Fill(addr, dirty, aux)
+	base := c.base(addr)
+	// Demote the just-filled line below every other stamp in its set.
+	var minStamp uint32 = ^uint32(0)
+	var idx uint64
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.lines[i].Addr == addr && c.lines[i].Valid {
+			idx = i
+			continue
+		}
+		if c.lines[i].Valid && c.lru[i] < minStamp {
+			minStamp = c.lru[i]
+		}
+	}
+	if minStamp == ^uint32(0) || minStamp == 0 {
+		c.lru[idx] = 0
+	} else {
+		c.lru[idx] = minStamp - 1
+	}
+	return ev
+}
+
+// Fill installs addr (which must not already be present), returning the
+// eviction it displaced. The filled line is made MRU.
+func (c *Cache) Fill(addr uint64, dirty bool, aux uint8) Eviction {
+	base := c.base(addr)
+	victim := base
+	var victimStamp uint32 = ^uint32(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if !c.lines[i].Valid {
+			victim = i
+			victimStamp = 0
+			break
+		}
+		if c.lines[i].Addr == addr {
+			panic("sram: fill of already-present line")
+		}
+		if c.lru[i] < victimStamp {
+			victim, victimStamp = i, c.lru[i]
+		}
+	}
+	old := c.lines[victim]
+	c.lines[victim] = Line{Addr: addr, Valid: true, Dirty: dirty, Aux: aux}
+	c.touch(victim)
+	return Eviction{Addr: old.Addr, Valid: old.Valid, Dirty: old.Dirty, Aux: old.Aux}
+}
+
+// Invalidate removes addr if present, returning its metadata (e.g. so a
+// dirty back-invalidated line can be written back).
+func (c *Cache) Invalidate(addr uint64) (Line, bool) {
+	base := c.base(addr)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.lines[i].Valid && c.lines[i].Addr == addr {
+			ln := c.lines[i]
+			c.lines[i] = Line{}
+			c.lru[i] = 0
+			return ln, true
+		}
+	}
+	return Line{}, false
+}
+
+// SetAux stores aux metadata on addr's line if present.
+func (c *Cache) SetAux(addr uint64, aux uint8) bool {
+	base := c.base(addr)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.lines[i].Valid && c.lines[i].Addr == addr {
+			c.lines[i].Aux = aux
+			return true
+		}
+	}
+	return false
+}
+
+// SetDirty marks addr's line dirty if present.
+func (c *Cache) SetDirty(addr uint64) bool {
+	base := c.base(addr)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.lines[i].Valid && c.lines[i].Addr == addr {
+			c.lines[i].Dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// WayOf returns the way within its set where addr resides, used by
+// tags-in-SRAM designs to locate the corresponding data-store frame.
+func (c *Cache) WayOf(addr uint64) (int, bool) {
+	base := c.base(addr)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.lines[i].Valid && c.lines[i].Addr == addr {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// VictimWay returns the way the next fill into addr's set would use.
+func (c *Cache) VictimWay(addr uint64) int {
+	base := c.base(addr)
+	victim := 0
+	var victimStamp uint32 = ^uint32(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if !c.lines[i].Valid {
+			return w
+		}
+		if c.lru[i] < victimStamp {
+			victim, victimStamp = w, c.lru[i]
+		}
+	}
+	return victim
+}
+
+// Victim returns the line that the next fill into addr's set would displace,
+// without modifying any state.
+func (c *Cache) Victim(addr uint64) Eviction {
+	base := c.base(addr)
+	victim := base
+	var victimStamp uint32 = ^uint32(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if !c.lines[i].Valid {
+			return Eviction{}
+		}
+		if c.lru[i] < victimStamp {
+			victim, victimStamp = i, c.lru[i]
+		}
+	}
+	old := c.lines[victim]
+	return Eviction{Addr: old.Addr, Valid: true, Dirty: old.Dirty, Aux: old.Aux}
+}
+
+// Range calls fn for every valid line; fn returning false stops iteration.
+func (c *Cache) Range(fn func(Line) bool) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			if !fn(c.lines[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Count returns the number of valid lines (for tests).
+func (c *Cache) Count() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,295 @@
+package sram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFillLookup(t *testing.T) {
+	c := New(4, 2)
+	if _, ok := c.Lookup(5); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	ev := c.Fill(5, false, 7)
+	if ev.Valid {
+		t.Fatal("fill into empty set evicted something")
+	}
+	ln, ok := c.Lookup(5)
+	if !ok || ln.Addr != 5 || ln.Dirty || ln.Aux != 7 {
+		t.Fatalf("lookup after fill = %+v, %v", ln, ok)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(1, 2)
+	c.Fill(10, false, 0)
+	c.Fill(20, false, 0)
+	// Touch 10 so 20 becomes LRU.
+	if !c.Access(10, false) {
+		t.Fatal("lost line 10")
+	}
+	ev := c.Fill(30, false, 0)
+	if !ev.Valid || ev.Addr != 20 {
+		t.Fatalf("evicted %+v, want line 20", ev)
+	}
+	if _, ok := c.Lookup(10); !ok {
+		t.Fatal("MRU line 10 was evicted")
+	}
+}
+
+func TestDirtyPropagation(t *testing.T) {
+	c := New(1, 1)
+	c.Fill(1, false, 0)
+	if !c.Access(1, true) {
+		t.Fatal("access miss")
+	}
+	ev := c.Fill(2, false, 0)
+	if !ev.Valid || !ev.Dirty || ev.Addr != 1 {
+		t.Fatalf("dirty eviction = %+v", ev)
+	}
+}
+
+func TestFillDirty(t *testing.T) {
+	c := New(2, 1)
+	c.Fill(4, true, 0)
+	ln, _ := c.Lookup(4)
+	if !ln.Dirty {
+		t.Fatal("fill with dirty=true lost the dirty bit")
+	}
+}
+
+func TestSetIndexMapping(t *testing.T) {
+	c := New(8, 1)
+	// Addresses 8 apart collide; others don't.
+	c.Fill(3, false, 0)
+	c.Fill(11, false, 0) // same set, 1 way -> evicts 3
+	if _, ok := c.Lookup(3); ok {
+		t.Fatal("conflicting line survived in a direct-mapped set")
+	}
+	if _, ok := c.Lookup(11); !ok {
+		t.Fatal("newly filled line missing")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4, 2)
+	c.Fill(9, false, 0)
+	c.Access(9, true)
+	ln, ok := c.Invalidate(9)
+	if !ok || !ln.Dirty || ln.Addr != 9 {
+		t.Fatalf("invalidate = %+v, %v", ln, ok)
+	}
+	if _, ok := c.Lookup(9); ok {
+		t.Fatal("line still present after invalidate")
+	}
+	if _, ok := c.Invalidate(9); ok {
+		t.Fatal("double invalidate reported a line")
+	}
+}
+
+func TestAux(t *testing.T) {
+	c := New(4, 2)
+	c.Fill(6, false, 0)
+	if !c.SetAux(6, 3) {
+		t.Fatal("SetAux missed present line")
+	}
+	ln, _ := c.Lookup(6)
+	if ln.Aux != 3 {
+		t.Fatalf("aux = %d, want 3", ln.Aux)
+	}
+	if c.SetAux(999, 1) {
+		t.Fatal("SetAux on absent line returned true")
+	}
+}
+
+func TestSetDirty(t *testing.T) {
+	c := New(4, 2)
+	c.Fill(6, false, 0)
+	if !c.SetDirty(6) {
+		t.Fatal("SetDirty missed present line")
+	}
+	ln, _ := c.Lookup(6)
+	if !ln.Dirty {
+		t.Fatal("dirty bit not set")
+	}
+	if c.SetDirty(999) {
+		t.Fatal("SetDirty on absent line returned true")
+	}
+}
+
+func TestWayOfAndVictimWay(t *testing.T) {
+	c := New(2, 4)
+	addrs := []uint64{0, 2, 4, 6} // all set 0
+	for _, a := range addrs {
+		// VictimWay must predict where Fill lands.
+		want := c.VictimWay(a)
+		c.Fill(a, false, 0)
+		got, ok := c.WayOf(a)
+		if !ok || got != want {
+			t.Fatalf("fill of %d landed in way %d, VictimWay predicted %d", a, got, want)
+		}
+	}
+	// Set full: victim is LRU (addr 0), and VictimWay must match Fill.
+	c.Access(0, false) // make 0 MRU; LRU is now 2
+	want := c.VictimWay(8)
+	ev := c.Fill(8, false, 0)
+	got, _ := c.WayOf(8)
+	if got != want {
+		t.Fatalf("full-set fill landed in way %d, VictimWay said %d", got, want)
+	}
+	if ev.Addr != 2 {
+		t.Fatalf("evicted %d, want LRU line 2", ev.Addr)
+	}
+}
+
+func TestVictimPreview(t *testing.T) {
+	c := New(1, 2)
+	if v := c.Victim(0); v.Valid {
+		t.Fatal("victim in empty set should be invalid")
+	}
+	c.Fill(1, false, 0)
+	c.Fill(2, true, 0)
+	c.Access(1, false)
+	v := c.Victim(3)
+	if !v.Valid || v.Addr != 2 || !v.Dirty {
+		t.Fatalf("victim preview = %+v, want dirty line 2", v)
+	}
+	// Preview must not modify state.
+	if _, ok := c.Lookup(2); !ok {
+		t.Fatal("Victim() modified the cache")
+	}
+}
+
+func TestDoubleFillPanics(t *testing.T) {
+	c := New(2, 2)
+	c.Fill(4, false, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate fill did not panic")
+		}
+	}()
+	c.Fill(4, false, 0)
+}
+
+func TestRangeAndCount(t *testing.T) {
+	c := New(8, 2)
+	for i := uint64(0); i < 10; i++ {
+		c.Fill(i, false, 0)
+	}
+	if c.Count() != 10 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	n := 0
+	c.Range(func(Line) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("Range early exit broke: %d", n)
+	}
+}
+
+func TestRescale(t *testing.T) {
+	c := New(1, 2)
+	c.Fill(1, false, 0)
+	c.Fill(2, false, 0)
+	c.clock = ^uint32(0) - 1 // force stamp overflow soon
+	c.Access(1, false)       // uses last stamp
+	c.Access(2, false)       // triggers rescale
+	// Order must survive: 1 older than 2.
+	ev := c.Fill(3, false, 0)
+	if ev.Addr != 1 {
+		t.Fatalf("after rescale evicted %d, want 1", ev.Addr)
+	}
+}
+
+// Model-based property test: the cache agrees with a reference map +
+// recency list under random operations.
+func TestModelEquivalence(t *testing.T) {
+	type modelSet struct {
+		order []uint64 // LRU order, front = LRU
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(ops []uint16, seed uint8) bool {
+		const sets, ways = 4, 3
+		c := New(sets, ways)
+		model := make([]modelSet, sets)
+
+		touch := func(m *modelSet, addr uint64) {
+			for i, a := range m.order {
+				if a == addr {
+					m.order = append(append(m.order[:i], m.order[i+1:]...), addr)
+					return
+				}
+			}
+		}
+		for _, op := range ops {
+			addr := uint64(op % 64)
+			m := &model[addr%sets]
+			present := false
+			for _, a := range m.order {
+				if a == addr {
+					present = true
+				}
+			}
+			if _, ok := c.Lookup(addr); ok != present {
+				return false
+			}
+			if present {
+				c.Access(addr, false)
+				touch(m, addr)
+				continue
+			}
+			ev := c.Fill(addr, false, 0)
+			if len(m.order) == ways {
+				want := m.order[0]
+				if !ev.Valid || ev.Addr != want {
+					return false
+				}
+				m.order = m.order[1:]
+			} else if ev.Valid {
+				return false
+			}
+			m.order = append(m.order, addr)
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0,0) did not panic")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestFillLRU(t *testing.T) {
+	c := New(1, 3)
+	c.Fill(1, false, 0)
+	c.Fill(2, false, 0)
+	// LRU-inserted line is the next victim even though it arrived last.
+	c.FillLRU(3, false, 0)
+	ev := c.Fill(4, false, 0)
+	if ev.Addr != 3 {
+		t.Fatalf("evicted %d, want the LRU-inserted 3", ev.Addr)
+	}
+	// A hit promotes an LRU-inserted line like any other.
+	c2 := New(1, 2)
+	c2.Fill(1, false, 0)
+	c2.FillLRU(2, false, 0)
+	c2.Access(2, false) // promote
+	ev = c2.Fill(3, false, 0)
+	if ev.Addr != 1 {
+		t.Fatalf("evicted %d, want 1 after promotion of 2", ev.Addr)
+	}
+}
+
+func TestFillLRUIntoEmptySet(t *testing.T) {
+	c := New(1, 2)
+	c.FillLRU(7, true, 3)
+	ln, ok := c.Lookup(7)
+	if !ok || !ln.Dirty || ln.Aux != 3 {
+		t.Fatalf("FillLRU into empty set lost metadata: %+v %v", ln, ok)
+	}
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBloatFactorIdeal(t *testing.T) {
+	var s L4
+	// BW-Opt: each hit transfers exactly 64 useful bytes.
+	for i := 0; i < 100; i++ {
+		s.ReadHits++
+		s.AddBytes(HitProbe, 64)
+	}
+	if got := s.BloatFactor(); got != 1.0 {
+		t.Fatalf("ideal bloat factor = %v, want 1", got)
+	}
+}
+
+func TestBloatFactorAlloyHit(t *testing.T) {
+	var s L4
+	// Alloy: 80 bytes per hit -> 1.25x floor.
+	s.ReadHits = 10
+	s.AddBytes(HitProbe, 800)
+	if got := s.BloatFactor(); got != 1.25 {
+		t.Fatalf("hit-only Alloy bloat = %v, want 1.25", got)
+	}
+}
+
+func TestBloatComposition(t *testing.T) {
+	var s L4
+	s.ReadHits = 100
+	s.AddBytes(HitProbe, 100*80)
+	s.AddBytes(MissProbe, 50*80)
+	s.AddBytes(MissFill, 50*80)
+	s.AddBytes(WBProbe, 30*80)
+	s.AddBytes(WBUpdate, 30*80)
+	total := s.BloatFactor()
+	var sum float64
+	for _, c := range Categories() {
+		sum += s.CategoryFactor(c)
+	}
+	if math.Abs(total-sum) > 1e-12 {
+		t.Fatalf("category factors sum %v != total %v", sum, total)
+	}
+	if math.Abs(total-(100+50+50+30+30)*80.0/(100*64)) > 1e-12 {
+		t.Fatalf("total = %v", total)
+	}
+}
+
+func TestBloatZeroDenominator(t *testing.T) {
+	var s L4
+	s.AddBytes(MissProbe, 80)
+	if s.BloatFactor() != 0 {
+		t.Fatal("bloat factor with zero hits should be 0 (undefined)")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	var s L4
+	s.ReadHits = 2
+	s.HitLatSum = 400
+	s.ReadMisses = 3
+	s.MissLatSum = 1500
+	if s.AvgHitLatency() != 200 {
+		t.Errorf("hit latency = %v", s.AvgHitLatency())
+	}
+	if s.AvgMissLatency() != 500 {
+		t.Errorf("miss latency = %v", s.AvgMissLatency())
+	}
+	if got := s.AvgLatency(); math.Abs(got-380) > 1e-12 {
+		t.Errorf("avg latency = %v, want 380", got)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s L4
+	if s.HitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+	s.ReadHits, s.ReadMisses = 63, 37
+	if math.Abs(s.HitRate()-0.63) > 1e-12 {
+		t.Errorf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s L4
+	s.ReadHits = 5
+	s.AddBytes(HitProbe, 400)
+	s.Reset()
+	if s.ReadHits != 0 || s.TotalBytes() != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(2,2,2) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	// Non-positive entries ignored.
+	if got := GeoMean([]float64{0, -1, 8, 2}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean with junk = %v, want 4", got)
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	r := Run{Cycles: 1000, Instructions: 2000, L3Misses: 50}
+	if r.IPC() != 2.0 {
+		t.Errorf("IPC = %v", r.IPC())
+	}
+	if r.MPKI() != 25 {
+		t.Errorf("MPKI = %v", r.MPKI())
+	}
+	base := Run{Cycles: 1500}
+	if r.Speedup(&base) != 1.5 {
+		t.Errorf("speedup = %v", r.Speedup(&base))
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	r := Run{CoreIPC: []float64{1.0, 0.5, 2.0}}
+	ws := r.WeightedSpeedup([]float64{2.0, 1.0, 4.0})
+	if math.Abs(ws-1.5) > 1e-12 {
+		t.Errorf("weighted speedup = %v, want 1.5", ws)
+	}
+	// Missing or zero single-IPC entries are skipped.
+	ws = r.WeightedSpeedup([]float64{2.0})
+	if math.Abs(ws-0.5) > 1e-12 {
+		t.Errorf("weighted speedup with short singles = %v", ws)
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Categories() {
+		n := c.String()
+		if n == "" || seen[n] {
+			t.Fatalf("bad category name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var s L4
+	s.ReadHits = 1
+	s.AddBytes(HitProbe, 80)
+	if got := s.BreakdownString(); got != "Hit=1.25" {
+		t.Errorf("BreakdownString = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 4, 100, 1000} {
+		h.Add(v)
+	}
+	if h.N != 6 {
+		t.Fatalf("N = %d", h.N)
+	}
+	// All values <= 1024, so p100 bound <= 2048.
+	if p := h.Percentile(1.0); p > 2048 {
+		t.Fatalf("p100 = %d", p)
+	}
+	// Median should be small (values 1..4 dominate).
+	if p := h.Percentile(0.5); p > 8 {
+		t.Fatalf("p50 = %d", p)
+	}
+	var empty Histogram
+	if empty.Percentile(0.5) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestHitMissHelpers(t *testing.T) {
+	var s L4
+	s.Hit(100)
+	s.Hit(300)
+	s.Miss(500)
+	if s.ReadHits != 2 || s.ReadMisses != 1 {
+		t.Fatalf("counts: %d/%d", s.ReadHits, s.ReadMisses)
+	}
+	if s.AvgHitLatency() != 200 || s.AvgMissLatency() != 500 {
+		t.Fatalf("latencies: %v/%v", s.AvgHitLatency(), s.AvgMissLatency())
+	}
+	if s.HitHist.N != 2 || s.MissHist.N != 1 {
+		t.Fatal("histograms not updated")
+	}
+}
