@@ -1,0 +1,27 @@
+# Standard targets; `make ci` is what a PR must pass.
+
+GO ?= go
+
+.PHONY: all build test race vet bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector. The parallel experiment
+# Runner is exercised by internal/exp's determinism and singleflight tests,
+# so this catches races in the sweep engine, not just in library code.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+ci: vet build race

@@ -7,7 +7,9 @@ package bear_test
 // parameters and readable output.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"bear/internal/exp"
@@ -27,6 +29,35 @@ func benchExperiment(b *testing.B, id string) {
 		if err := e.Run(p, io.Discard, r); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunnerParallel measures the sweep engine itself: the tab4
+// aggregate (32 simulations over two specs) on a serial runner versus one
+// worker per CPU. On a multicore host the parallel case should approach a
+// GOMAXPROCS-fold wall-clock win; output is byte-identical either way
+// (see internal/exp TestDeterminismSerialVsParallel).
+func BenchmarkRunnerParallel(b *testing.B) {
+	e, err := exp.ByID("tab4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := exp.Params{Scale: 1024, Warm: 20_000, Meas: 50_000, Mixes: 1, Seed: 1}
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {fmt.Sprintf("gomaxprocs=%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)}} {
+		workers := c.workers
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := exp.NewRunner(p)
+				r.Parallel = workers
+				if err := e.Run(p, io.Discard, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

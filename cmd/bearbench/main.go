@@ -7,12 +7,18 @@
 //	bearbench -run fig12
 //	bearbench -run all -quick
 //	bearbench -run fig13 -scale 64 -meas 1200000 -mixes 8
+//	bearbench -run all -parallel 32 -v
+//
+// Simulations fan out across -parallel workers (default GOMAXPROCS).
+// Every simulation is deterministic and results are collected in a fixed
+// order, so the output is byte-identical at any parallelism level.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"bear/internal/exp"
@@ -27,8 +33,9 @@ func main() {
 		warm    = flag.Uint64("warm", 0, "override warm-up instructions per core")
 		meas    = flag.Uint64("meas", 0, "override measured instructions per core")
 		mixes   = flag.Int("mixes", 0, "override number of MIX workloads")
-		seed    = flag.Uint64("seed", 0, "override simulation seed")
-		verbose = flag.Bool("v", false, "log every simulation as it completes")
+		seed     = flag.Uint64("seed", 0, "override simulation seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial; output is identical either way)")
+		verbose  = flag.Bool("v", false, "log every simulation as it completes")
 	)
 	flag.Parse()
 
@@ -65,6 +72,9 @@ func main() {
 	}
 
 	runner := exp.NewRunner(p)
+	if *parallel > 0 {
+		runner.Parallel = *parallel
+	}
 	if *verbose {
 		runner.Log = os.Stderr
 	}
@@ -88,6 +98,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bearbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n[%s done in %v, %d simulations so far]\n", e.ID, time.Since(start).Round(time.Millisecond), runner.Count)
+		fmt.Printf("\n[%s done in %v, %d simulations so far]\n", e.ID, time.Since(start).Round(time.Millisecond), runner.Count())
 	}
 }

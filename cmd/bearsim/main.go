@@ -1,10 +1,15 @@
-// Command bearsim runs a single DRAM-cache simulation and prints its
-// statistics.
+// Command bearsim runs DRAM-cache simulations and prints their statistics.
+//
+// -workload and -design accept comma-separated lists; bearsim simulates the
+// full cross product, fanning out across -parallel workers (default
+// GOMAXPROCS) and printing results in a deterministic order regardless of
+// which finishes first.
 //
 // Usage:
 //
 //	bearsim -workload mcf -design BEAR -scale 128 -meas 2000000
 //	bearsim -workload MIX3 -design Alloy
+//	bearsim -workload mcf,lbm,libq -design Alloy,BEAR -parallel 8
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -28,8 +34,8 @@ var designByName = map[string]bear.Design{
 
 func main() {
 	var (
-		workload = flag.String("workload", "mcf", "benchmark name (rate mode) or MIXn")
-		design   = flag.String("design", "Alloy", "L4 design: NoL4|Alloy|BEAR|BWOpt|LH|MC|Incl-Alloy|TIS|SC")
+		workload = flag.String("workload", "mcf", "benchmark names (rate mode) or MIXn, comma-separated")
+		design   = flag.String("design", "Alloy", "L4 designs, comma-separated: NoL4|Alloy|BEAR|BWOpt|LH|MC|Incl-Alloy|TIS|SC")
 		scale    = flag.Int("scale", 64, "capacity divisor vs the paper's 1 GB machine")
 		warm     = flag.Uint64("warm", 1_000_000, "warm-up instructions per core")
 		meas     = flag.Uint64("meas", 2_000_000, "measured instructions per core")
@@ -38,7 +44,8 @@ func main() {
 		banks    = flag.Int("l4banks", 0, "override L4 banks per channel")
 		capMB    = flag.Int64("capacity", 0, "override full-scale capacity in MB")
 		traces   = flag.String("trace", "", "glob of per-core trace files (see beartrace); replaces -workload")
-		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations across the workload x design sweep")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON (an array when sweeping)")
 	)
 	flag.Parse()
 
@@ -51,45 +58,121 @@ func main() {
 	cfg.L4Banks = *banks
 	cfg.CapacityMB = *capMB
 
-	d, ok := designByName[strings.ToLower(*design)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "bearsim: unknown design %q\n", *design)
-		os.Exit(2)
-	}
-	cfg.Design = d
-
-	var (
-		res *bear.Result
-		err error
-	)
-	switch {
-	case *traces != "":
-		var paths []string
-		paths, err = filepath.Glob(*traces)
+	if *traces != "" {
+		paths, err := filepath.Glob(*traces)
+		var res *bear.Result
 		if err == nil {
+			d, derr := oneDesign(*design)
+			if derr != nil {
+				fail(derr)
+			}
+			cfg.Design = d
 			res, err = bear.RunTraceFiles(cfg, *traces, paths)
 		}
-	default:
-		if n, isMix := mixIndex(*workload); isMix {
-			res, err = bear.RunMix(cfg, n)
-		} else {
-			res, err = bear.RunRate(cfg, *workload)
+		if err != nil {
+			fail(err)
+		}
+		emit([]*bear.Result{res}, *asJSON)
+		return
+	}
+
+	// The sweep: every workload under every design, executed by a bounded
+	// worker pool. Each simulation is independent and deterministic, so
+	// results land in their preassigned slots and printing order never
+	// depends on completion order.
+	type job struct {
+		cfg      bear.Config
+		workload string
+	}
+	var jobs []job
+	for _, d := range strings.Split(*design, ",") {
+		dv, err := oneDesign(d)
+		if err != nil {
+			fail(err)
+		}
+		c := cfg
+		c.Design = dv
+		for _, w := range strings.Split(*workload, ",") {
+			w = strings.TrimSpace(w)
+			if w == "" {
+				continue
+			}
+			jobs = append(jobs, job{cfg: c, workload: w})
 		}
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "bearsim: %v\n", err)
-		os.Exit(1)
+	if len(jobs) == 0 {
+		fail(fmt.Errorf("no workloads given"))
 	}
-	if *asJSON {
+
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*bear.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, workers)
+	done := make(chan int, len(jobs))
+	for i, j := range jobs {
+		i, j := i, j
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if n, isMix := mixIndex(j.workload); isMix {
+				results[i], errs[i] = bear.RunMix(j.cfg, n)
+			} else {
+				results[i], errs[i] = bear.RunRate(j.cfg, j.workload)
+			}
+			done <- i
+		}()
+	}
+	for range jobs {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			fail(err)
+		}
+	}
+	emit(results, *asJSON)
+}
+
+func oneDesign(name string) (bear.Design, error) {
+	d, ok := designByName[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return 0, fmt.Errorf("unknown design %q", name)
+	}
+	return d, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "bearsim: %v\n", err)
+	if strings.Contains(err.Error(), "unknown design") {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+func emit(results []*bear.Result, asJSON bool) {
+	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			fmt.Fprintf(os.Stderr, "bearsim: %v\n", err)
-			os.Exit(1)
+		var err error
+		if len(results) == 1 {
+			err = enc.Encode(results[0])
+		} else {
+			err = enc.Encode(results)
+		}
+		if err != nil {
+			fail(err)
 		}
 		return
 	}
-	print(res)
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		print(r)
+	}
 }
 
 func mixIndex(name string) (int, bool) {

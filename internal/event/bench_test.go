@@ -1,0 +1,46 @@
+package event
+
+import "testing"
+
+// BenchmarkEventQueue measures the steady-state push/pop hot path the
+// simulator lives in: a rolling window of pending events where every pop
+// schedules a replacement a pseudo-random distance in the future. The
+// callback is preallocated so the benchmark isolates queue cost from
+// closure-capture cost at the call sites.
+func BenchmarkEventQueue(b *testing.B) {
+	for _, window := range []int{16, 256, 4096} {
+		b.Run(benchName(window), func(b *testing.B) {
+			var q Queue
+			fn := Func(func(uint64) {})
+			// xorshift keeps delays deterministic without math/rand.
+			x := uint64(0x9e3779b97f4a7c15)
+			next := func() uint64 {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				return x
+			}
+			for i := 0; i < window; i++ {
+				q.At(next()%1024, fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := q.h[0].at
+				q.Step()
+				q.At(at+next()%1024, fn)
+			}
+		})
+	}
+}
+
+func benchName(window int) string {
+	switch window {
+	case 16:
+		return "window=16"
+	case 256:
+		return "window=256"
+	default:
+		return "window=4096"
+	}
+}

@@ -6,9 +6,14 @@
 // interesting happens (a data burst finishes, a stalled core may resume).
 // Events at equal timestamps run in scheduling order, which makes every
 // simulation fully deterministic.
+//
+// The queue is an inlined 4-ary heap over a flat []item slice rather than
+// container/heap: no interface boxing on push/pop (zero steady-state
+// allocations once the backing array has grown) and a shallower tree, which
+// matters because every simulated memory access pushes and pops several
+// events. Queues are reusable via Reset, so a worker pool running many
+// simulations back to back keeps one grown backing array per worker.
 package event
-
-import "container/heap"
 
 // Func is a callback invoked when simulated time reaches its scheduled cycle.
 // The argument is the current simulation time in CPU cycles.
@@ -20,30 +25,20 @@ type item struct {
 	fn  Func
 }
 
-type itemHeap []item
-
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders items by (time, scheduling order); seq breaks ties so that
+// same-cycle events run FIFO and every run is deterministic.
+func (a item) less(b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *itemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 // Queue is a deterministic discrete-event queue. The zero value is ready to
-// use. Queue is not safe for concurrent use; the simulator is single-threaded
-// by design.
+// use. Queue is not safe for concurrent use; each simulation is
+// single-threaded by design (parallel sweeps run one Queue per simulation).
 type Queue struct {
-	h   itemHeap
+	h   []item
 	seq uint64
 	now uint64
 }
@@ -58,7 +53,8 @@ func (q *Queue) At(at uint64, fn Func) {
 		panic("event: scheduled in the past")
 	}
 	q.seq++
-	heap.Push(&q.h, item{at: at, seq: q.seq, fn: fn})
+	q.h = append(q.h, item{at: at, seq: q.seq, fn: fn})
+	q.up(len(q.h) - 1)
 }
 
 // After schedules fn to run delay cycles from now.
@@ -69,13 +65,76 @@ func (q *Queue) After(delay uint64, fn Func) {
 // Len reports the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
 
+// Reset empties the queue and rewinds time to cycle 0, keeping the grown
+// backing array so the next simulation pushes without reallocating. Pending
+// callbacks are dropped and their references cleared.
+func (q *Queue) Reset() {
+	for i := range q.h {
+		q.h[i] = item{}
+	}
+	q.h = q.h[:0]
+	q.seq = 0
+	q.now = 0
+}
+
+// up restores heap order from leaf i toward the root (4-ary: parent of i is
+// (i-1)/4). The moving item is held in a register and written once.
+func (q *Queue) up(i int) {
+	it := q.h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !it.less(q.h[p]) {
+			break
+		}
+		q.h[i] = q.h[p]
+		i = p
+	}
+	q.h[i] = it
+}
+
+// down sifts it from the root into a heap of len(q.h) items (the root slot
+// is treated as vacant).
+func (q *Queue) down(it item) {
+	n := len(q.h)
+	i := 0
+	for {
+		c := i<<2 + 1 // first child
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if q.h[j].less(q.h[m]) {
+				m = j
+			}
+		}
+		if !q.h[m].less(it) {
+			break
+		}
+		q.h[i] = q.h[m]
+		i = m
+	}
+	q.h[i] = it
+}
+
 // Step runs the earliest pending event and returns true, or returns false if
 // the queue is empty.
 func (q *Queue) Step() bool {
-	if len(q.h) == 0 {
+	n := len(q.h)
+	if n == 0 {
 		return false
 	}
-	it := heap.Pop(&q.h).(item)
+	it := q.h[0]
+	last := q.h[n-1]
+	q.h[n-1] = item{} // drop the callback reference
+	q.h = q.h[:n-1]
+	if n > 1 {
+		q.down(last)
+	}
 	q.now = it.at
 	it.fn(q.now)
 	return true

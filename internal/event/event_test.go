@@ -109,6 +109,31 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+func TestReset(t *testing.T) {
+	var q Queue
+	ran := 0
+	for i := 1; i <= 5; i++ {
+		q.At(uint64(i), func(uint64) { ran++ })
+	}
+	q.Step()
+	q.Reset()
+	if q.Len() != 0 || q.Now() != 0 {
+		t.Fatalf("after Reset: len=%d now=%d, want 0/0", q.Len(), q.Now())
+	}
+	// The queue must be fully reusable: time restarts at zero (scheduling
+	// at cycle 0 is legal again) and FIFO tie-breaking starts over.
+	var got []int
+	q.At(0, func(uint64) { got = append(got, 0) })
+	q.At(0, func(uint64) { got = append(got, 1) })
+	q.Run(nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("reused queue ran %v, want [0 1]", got)
+	}
+	if ran != 1 {
+		t.Fatalf("stale callbacks survived Reset: ran=%d", ran)
+	}
+}
+
 func TestStepEmpty(t *testing.T) {
 	var q Queue
 	if q.Step() {

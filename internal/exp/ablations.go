@@ -22,13 +22,19 @@ import (
 var ablationWorkloads = []string{"mcf", "lbm", "libq", "omnetpp", "Gems", "zeusmp"}
 
 func ablSpeedups(r *Runner, s, base spec) (float64, error) {
+	bases := make([]Future, len(ablationWorkloads))
+	vs := make([]Future, len(ablationWorkloads))
+	for i, name := range ablationWorkloads {
+		bases[i] = r.RateAsync(base, name)
+		vs[i] = r.RateAsync(s, name)
+	}
 	var xs []float64
-	for _, name := range ablationWorkloads {
-		b, err := r.Rate(base, name)
+	for i := range ablationWorkloads {
+		b, err := bases[i].Wait()
 		if err != nil {
 			return 0, err
 		}
-		v, err := r.Rate(s, name)
+		v, err := vs[i].Wait()
 		if err != nil {
 			return 0, err
 		}
@@ -44,6 +50,13 @@ func init() {
 		Title:    "BAB bypass-probability sweep (the paper selects P=90%)",
 		About:    "Section 4.2's sensitivity: speedup and hit-rate loss vs P on representative workloads",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			variants := []spec{specAlloy}
+			for _, prob := range []float64{0.5, 0.75, 0.9, 0.95} {
+				s := specBAB()
+				s.prob = prob
+				variants = append(variants, s)
+			}
+			r.PrefetchRate(variants, ablationWorkloads)
 			t := newTable("P", "Speedup-vs-Alloy", "HitRate", "FillBytes/Read")
 			base, err := ablAgg(r, specAlloy)
 			if err != nil {
@@ -76,6 +89,13 @@ func init() {
 		Title:    "Neighboring Tag Cache capacity sweep (the paper uses 8 entries/bank)",
 		About:    "Probes saved and speedup as the per-bank NTC grows",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			variants := []spec{specAlloy}
+			for _, n := range []int{2, 4, 8, 16, 32} {
+				s := specBEAR
+				s.ntcEntries = n
+				variants = append(variants, s)
+			}
+			r.PrefetchRate(variants, ablationWorkloads)
 			t := newTable("Entries/bank", "Speedup-vs-Alloy", "ProbesSaved", "ParallelSquashed")
 			for _, n := range []int{2, 4, 8, 16, 32} {
 				s := specBEAR
@@ -106,6 +126,13 @@ func init() {
 		Title:    "Miss-predictor quality: always-hit vs MAP-I vs perfect oracle",
 		About:    "Serialisation penalty of mispredictions on the Alloy baseline (MAP-I is the paper's choice)",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			variants := []spec{specAlloy}
+			for _, mode := range []config.PredMode{config.PredAlwaysHit, config.PredMAPI, config.PredPerfect} {
+				s := specAlloy
+				s.pred = mode
+				variants = append(variants, s)
+			}
+			r.PrefetchRate(variants, ablationWorkloads)
 			t := newTable("Predictor", "Speedup-vs-MAP-I", "MissLat", "MemWastedReads")
 			base := specAlloy
 			for _, mode := range []config.PredMode{config.PredAlwaysHit, config.PredMAPI, config.PredPerfect} {
@@ -134,6 +161,9 @@ func init() {
 		Title:    "Writeback-allocate vs no-allocate (Section 2.3's sixth bloat source)",
 		About:    "Switching the baseline to writeback-allocate activates the WB Fill category",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			wbAlloc := specAlloy
+			wbAlloc.wbAllocate = true
+			r.PrefetchRate([]spec{specAlloy, wbAlloc}, ablationWorkloads)
 			t := newTable("Policy", "WBProbe", "WBUpdate", "WBFill", "Total", "Speedup")
 			for _, alloc := range []bool{false, true} {
 				s := specAlloy
@@ -162,9 +192,13 @@ func init() {
 
 // ablAgg aggregates the ablation workload subset under one spec.
 func ablAgg(r *Runner, s spec) (aggregate, error) {
+	futs := make([]Future, len(ablationWorkloads))
+	for i, name := range ablationWorkloads {
+		futs[i] = r.RateAsync(s, name)
+	}
 	var a aggregate
-	for _, name := range ablationWorkloads {
-		run, err := r.Rate(s, name)
+	for _, f := range futs {
+		run, err := f.Wait()
 		if err != nil {
 			return a, err
 		}
@@ -203,6 +237,11 @@ func init() {
 					return s
 				}()},
 			}
+			variants := make([]spec, len(configs))
+			for i, c := range configs {
+				variants[i] = c.s
+			}
+			r.PrefetchRate(variants, ablationWorkloads)
 			for _, c := range configs {
 				g, err := ablSpeedups(r, c.s, specAlloy)
 				if err != nil {
@@ -239,6 +278,13 @@ func init() {
 				{"TTC", false, true},
 				{"NTC+TTC", true, true},
 			}
+			variants := []spec{specAlloy}
+			for _, c := range configs {
+				s := baseSpec(config.Alloy)
+				s.ntc, s.ttc = c.ntc, c.ttc
+				variants = append(variants, s)
+			}
+			r.PrefetchRate(variants, ablationWorkloads)
 			for _, c := range configs {
 				s := baseSpec(config.Alloy)
 				s.ntc, s.ttc = c.ntc, c.ttc
@@ -270,6 +316,9 @@ func init() {
 		Title:    "Loh-Hill insertion policy: LRU vs DIP (paper footnote 3)",
 		About:    "DIP protects thrashing sets in the 29-way design; both pay the replacement-update write",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			dip := specLH
+			dip.lhDIP = true
+			r.PrefetchRate([]spec{specLH, dip}, ablationWorkloads)
 			t := newTable("Policy", "Speedup-vs-LH", "HitRate", "Bloat")
 			for _, useDIP := range []bool{false, true} {
 				s := specLH

@@ -2,15 +2,24 @@
 // per table and figure, each regenerating the corresponding rows from live
 // simulations. cmd/bearbench and the repository's bench harness drive this
 // registry.
+//
+// Every simulation is independent and deterministic (seeded RNG, totally
+// ordered event queue), so the Runner executes them on a bounded worker
+// pool: experiments launch futures for the (spec, workload) pairs they
+// need and collect results in a fixed order, which makes parallel and
+// serial sweeps byte-identical.
 package exp
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"bear/internal/config"
+	"bear/internal/event"
 	"bear/internal/hier"
 	"bear/internal/stats"
 	"bear/internal/trace"
@@ -48,9 +57,18 @@ type Experiment struct {
 	Run      func(p Params, w io.Writer, r *Runner) error
 }
 
-var registry []Experiment
+var (
+	registry []Experiment
+	byID     = map[string]Experiment{}
+)
 
-func register(e Experiment) { registry = append(registry, e) }
+func register(e Experiment) {
+	if _, dup := byID[e.ID]; dup {
+		panic("exp: duplicate experiment id " + e.ID)
+	}
+	byID[e.ID] = e
+	registry = append(registry, e)
+}
 
 // All returns the registered experiments in paper order.
 func All() []Experiment {
@@ -61,10 +79,8 @@ func All() []Experiment {
 
 // ByID finds an experiment.
 func ByID(id string) (Experiment, error) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, nil
-		}
+	if e, ok := byID[id]; ok {
+		return e, nil
 	}
 	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 }
@@ -132,44 +148,129 @@ func (s spec) build(p Params) config.System {
 	return sys
 }
 
-func (s spec) key(workload string, p Params) string {
-	return fmt.Sprintf("%v|%v|%.2f|%v|%v|%v|%v|%d|%d|%d|%d|%v|%v|%s|%d|%d|%d|%d",
-		s.design, s.bypass, s.prob, s.dcp, s.ntc, s.ttc, s.lhDIP, s.channels,
-		s.banks, s.capacityMB, s.ntcEntries, s.pred, s.wbAllocate,
-		workload, p.Scale, p.Warm, p.Meas, p.Seed)
+// memoKey is the memo-cache key: the spec struct itself plus the workload
+// name. Specs are small comparable structs, so keys need no per-call
+// formatting — the Runner was previously building a ~100-byte fmt string
+// for every lookup, hit or miss. Params are fixed per Runner and so are
+// not part of the key.
+type memoKey struct {
+	s  spec
+	wl string
+}
+
+// task is one memoised simulation: created exactly once per memoKey
+// (singleflight), executed on the worker pool, awaited by any number of
+// futures.
+type task struct {
+	res  *stats.Run
+	err  error
+	done chan struct{}
+}
+
+// Future is a handle to an in-flight (or completed) simulation.
+type Future struct{ t *task }
+
+// Wait blocks until the simulation completes and returns its result.
+func (f Future) Wait() (*stats.Run, error) {
+	<-f.t.done
+	return f.t.res, f.t.err
 }
 
 // Runner executes simulations with memoisation, so experiments sharing a
-// configuration (every figure reuses the Alloy baseline) run it once.
+// configuration (every figure reuses the Alloy baseline) run it once — and
+// with a bounded worker pool, so independent simulations run concurrently.
+//
+// Requesting the same (spec, workload) twice — even from two goroutines at
+// once — shares one in-flight simulation (singleflight). Results are
+// collected by callers in a deterministic order, and each simulation is
+// itself deterministic, so runs at any Parallel setting are byte-identical.
 type Runner struct {
-	p     Params
-	memo  map[string]*stats.Run
-	Log   io.Writer // optional progress sink
-	Count int       // simulations actually executed
+	p Params
+
+	// Parallel bounds concurrently executing simulations. NewRunner sets
+	// it to runtime.GOMAXPROCS(0); set it to 1 (before the first request)
+	// for a strictly serial sweep.
+	Parallel int
+
+	// Log, when non-nil, receives one line per completed simulation.
+	// Lines are written atomically (single Write under a mutex), so
+	// worker output never interleaves mid-line.
+	Log io.Writer
+
+	mu    sync.Mutex
+	memo  map[memoKey]*task
+	sem   chan struct{} // worker slots, sized from Parallel on first use
+	count int
+
+	logMu  sync.Mutex
+	queues sync.Pool // *event.Queue, reused across simulations per worker
 }
 
-// NewRunner builds a runner for the given parameters.
+// NewRunner builds a runner for the given parameters, parallel across
+// runtime.GOMAXPROCS(0) workers by default.
 func NewRunner(p Params) *Runner {
-	return &Runner{p: p, memo: make(map[string]*stats.Run)}
+	return &Runner{p: p, Parallel: runtime.GOMAXPROCS(0), memo: make(map[memoKey]*task)}
+}
+
+// Count reports how many simulations have actually executed (memo hits and
+// deduplicated in-flight requests do not run twice).
+func (r *Runner) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
 }
 
 func (r *Runner) progress(format string, args ...interface{}) {
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, format, args...)
+	if r.Log == nil {
+		return
 	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	fmt.Fprintf(r.Log, format, args...)
 }
 
-func (r *Runner) run(s spec, wlName string, mk func() (trace.Workload, error)) (*stats.Run, error) {
-	key := s.key(wlName, r.p)
-	if res, ok := r.memo[key]; ok {
-		return res, nil
+// start returns the task for (s, wlName), launching it on the worker pool
+// if this is the first request for that key.
+func (r *Runner) start(s spec, wlName string, mk func() (trace.Workload, error)) *task {
+	key := memoKey{s: s, wl: wlName}
+	r.mu.Lock()
+	if t, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		return t
 	}
+	if r.sem == nil {
+		workers := r.Parallel
+		if workers < 1 {
+			workers = 1
+		}
+		r.sem = make(chan struct{}, workers)
+	}
+	t := &task{done: make(chan struct{})}
+	r.memo[key] = t
+	sem := r.sem
+	r.mu.Unlock()
+
+	go func() {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		t.res, t.err = r.simulate(s, wlName, mk)
+		close(t.done)
+	}()
+	return t
+}
+
+// simulate builds and runs one simulation on the calling worker goroutine.
+func (r *Runner) simulate(s spec, wlName string, mk func() (trace.Workload, error)) (*stats.Run, error) {
 	wl, err := mk()
 	if err != nil {
 		return nil, err
 	}
 	sys := s.build(r.p)
-	sim, err := hier.NewSim(sys, wl, r.p.Warm, r.p.Meas)
+	q, _ := r.queues.Get().(*event.Queue)
+	if q == nil {
+		q = new(event.Queue)
+	}
+	sim, err := hier.NewSimQueue(sys, wl, r.p.Warm, r.p.Meas, q)
 	if err != nil {
 		return nil, err
 	}
@@ -177,37 +278,96 @@ func (r *Runner) run(s spec, wlName string, mk func() (trace.Workload, error)) (
 	if err != nil {
 		return nil, err
 	}
-	r.Count++
+	r.queues.Put(q)
+
+	r.mu.Lock()
+	r.count++
+	n := r.count
+	r.mu.Unlock()
 	r.progress("  [%3d] %-10s %-10s bloat=%5.2f hit=%4.1f%% hitlat=%4.0f ipc=%5.2f\n",
-		r.Count, wlName, sys.Design, res.L4.BloatFactor(), 100*res.L4.HitRate(),
+		n, wlName, sys.Design, res.L4.BloatFactor(), 100*res.L4.HitRate(),
 		res.L4.AvgHitLatency(), res.IPC())
-	r.memo[key] = res
 	return res, nil
+}
+
+// RateAsync starts (or joins) the rate-mode simulation of a benchmark and
+// returns a future for its result.
+func (r *Runner) RateAsync(s spec, bench string) Future {
+	cores := config.Default(r.p.Scale).Core.Count
+	return Future{r.start(s, bench, func() (trace.Workload, error) {
+		return trace.Rate(bench, cores, r.p.Scale, r.p.Seed)
+	})}
+}
+
+// MixAsync starts (or joins) mixed workload n and returns a future.
+func (r *Runner) MixAsync(s spec, n int) Future {
+	cores := config.Default(r.p.Scale).Core.Count
+	return Future{r.start(s, fmt.Sprintf("MIX%d", n), func() (trace.Workload, error) {
+		return trace.Mix(n, cores, r.p.Scale, r.p.Seed)
+	})}
+}
+
+// SingleAsync starts (or joins) a benchmark alone on one core, for
+// Equation 2's single-program IPC denominators.
+func (r *Runner) SingleAsync(s spec, bench string) Future {
+	cores := config.Default(r.p.Scale).Core.Count
+	return Future{r.start(s, bench+"@single", func() (trace.Workload, error) {
+		return trace.Single(bench, cores, r.p.Scale, r.p.Seed)
+	})}
 }
 
 // Rate runs (or recalls) the rate-mode workload for a benchmark.
 func (r *Runner) Rate(s spec, bench string) (*stats.Run, error) {
-	cores := config.Default(r.p.Scale).Core.Count
-	return r.run(s, bench, func() (trace.Workload, error) {
-		return trace.Rate(bench, cores, r.p.Scale, r.p.Seed)
-	})
+	return r.RateAsync(s, bench).Wait()
 }
 
 // Mix runs (or recalls) mixed workload n.
 func (r *Runner) Mix(s spec, n int) (*stats.Run, error) {
-	cores := config.Default(r.p.Scale).Core.Count
-	return r.run(s, fmt.Sprintf("MIX%d", n), func() (trace.Workload, error) {
-		return trace.Mix(n, cores, r.p.Scale, r.p.Seed)
-	})
+	return r.MixAsync(s, n).Wait()
 }
 
-// Single runs (or recalls) a benchmark alone on one core, for Equation 2's
-// single-program IPC denominators.
+// Single runs (or recalls) a benchmark alone on one core.
 func (r *Runner) Single(s spec, bench string) (*stats.Run, error) {
+	return r.SingleAsync(s, bench).Wait()
+}
+
+// PrefetchRate fans the full (spec, workload) cross product out to the
+// worker pool without waiting. Experiments call it up front so that the
+// sequential result-collection loops that follow find every simulation
+// already running (or memoised).
+func (r *Runner) PrefetchRate(specs []spec, names []string) {
+	for _, s := range specs {
+		for _, name := range names {
+			r.RateAsync(s, name)
+		}
+	}
+}
+
+// PrefetchMix fans the first n mixed workloads out for each spec.
+func (r *Runner) PrefetchMix(specs []spec, n int) {
+	for _, s := range specs {
+		for m := 1; m <= n; m++ {
+			r.MixAsync(s, m)
+		}
+	}
+}
+
+// PrefetchMixWS additionally starts the single-program runs Equation 2
+// needs for weighted speedups of the first n mixes.
+func (r *Runner) PrefetchMixWS(specs []spec, n int) {
+	r.PrefetchMix(specs, n)
 	cores := config.Default(r.p.Scale).Core.Count
-	return r.run(s, bench+"@single", func() (trace.Workload, error) {
-		return trace.Single(bench, cores, r.p.Scale, r.p.Seed)
-	})
+	for m := 1; m <= n; m++ {
+		wl, err := trace.Mix(m, cores, r.p.Scale, r.p.Seed)
+		if err != nil {
+			continue // surfaced by the collection phase
+		}
+		for _, s := range specs {
+			for _, b := range wl.Benchs {
+				r.SingleAsync(s, b.Name)
+			}
+		}
+	}
 }
 
 // aggregate combines runs byte-weighted for bandwidth metrics.
@@ -231,16 +391,24 @@ func (a *aggregate) add(r *stats.Run) {
 }
 
 // rateSpeedups returns per-benchmark speedups of s over base, in catalog
-// order, plus the geometric mean.
+// order, plus the geometric mean. Both sweeps run concurrently; results
+// are folded in catalog order so the output is independent of Parallel.
 func (r *Runner) rateSpeedups(s, base spec) (map[string]float64, float64, error) {
+	names := trace.RateNames()
+	bases := make([]Future, len(names))
+	vs := make([]Future, len(names))
+	for i, name := range names {
+		bases[i] = r.RateAsync(base, name)
+		vs[i] = r.RateAsync(s, name)
+	}
 	per := map[string]float64{}
 	var all []float64
-	for _, name := range trace.RateNames() {
-		b, err := r.Rate(base, name)
+	for i, name := range names {
+		b, err := bases[i].Wait()
 		if err != nil {
 			return nil, 0, err
 		}
-		v, err := r.Rate(s, name)
+		v, err := vs[i].Wait()
 		if err != nil {
 			return nil, 0, err
 		}
@@ -255,6 +423,8 @@ func (r *Runner) rateSpeedups(s, base spec) (map[string]float64, float64, error)
 // first n mixes, plus the geometric mean. Weighted speedup uses Equation 2
 // with single-program IPCs measured per design.
 func (r *Runner) mixNormWS(s, base spec, n int) (map[string]float64, float64, error) {
+	r.PrefetchMixWS([]spec{base, s}, n)
+	cores := config.Default(r.p.Scale).Core.Count
 	singles := func(sp spec, benchs []trace.Benchmark) ([]float64, error) {
 		out := make([]float64, len(benchs))
 		for i, b := range benchs {
@@ -266,7 +436,6 @@ func (r *Runner) mixNormWS(s, base spec, n int) (map[string]float64, float64, er
 		}
 		return out, nil
 	}
-	cores := config.Default(r.p.Scale).Core.Count
 	per := map[string]float64{}
 	var all []float64
 	for m := 1; m <= n; m++ {
@@ -305,6 +474,8 @@ func (r *Runner) mixNormWS(s, base spec, n int) (map[string]float64, float64, er
 // allGeomean merges rate and mix relative performance into the paper's
 // RATE / MIX / ALL triple.
 func (r *Runner) allGeomean(s, base spec) (rate, mix, all float64, err error) {
+	// Start the mix/single sweep before blocking on the rate sweep.
+	r.PrefetchMixWS([]spec{base, s}, r.p.Mixes)
 	perRate, rateG, err := r.rateSpeedups(s, base)
 	if err != nil {
 		return 0, 0, 0, err
@@ -313,12 +484,19 @@ func (r *Runner) allGeomean(s, base spec) (rate, mix, all float64, err error) {
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	// Fold in a fixed order (not map order): GeoMean sums logs, and
+	// float addition order must not depend on map iteration for runs to
+	// be byte-identical.
 	var xs []float64
-	for _, v := range perRate {
-		xs = append(xs, v)
+	for _, name := range trace.RateNames() {
+		if v, ok := perRate[name]; ok {
+			xs = append(xs, v)
+		}
 	}
-	for _, v := range perMix {
-		xs = append(xs, v)
+	for m := 1; m <= r.p.Mixes; m++ {
+		if v, ok := perMix[fmt.Sprintf("MIX%d", m)]; ok {
+			xs = append(xs, v)
+		}
 	}
 	return rateG, mixG, stats.GeoMean(xs), nil
 }

@@ -41,18 +41,18 @@ func TestMemoisation(t *testing.T) {
 	if _, err := r.Rate(specAlloy, "wrf"); err != nil {
 		t.Fatal(err)
 	}
-	n := r.Count
+	n := r.Count()
 	if _, err := r.Rate(specAlloy, "wrf"); err != nil {
 		t.Fatal(err)
 	}
-	if r.Count != n {
+	if r.Count() != n {
 		t.Fatal("identical run not memoised")
 	}
 	// A different spec is a different run.
 	if _, err := r.Rate(specBEAR, "wrf"); err != nil {
 		t.Fatal(err)
 	}
-	if r.Count != n+1 {
+	if r.Count() != n+1 {
 		t.Fatal("different spec hit the memo")
 	}
 }
@@ -117,12 +117,14 @@ func TestSpecBuild(t *testing.T) {
 }
 
 func TestSpecKeysDistinct(t *testing.T) {
-	p := Default()
-	keys := map[string]bool{}
+	// The memo cache keys on the spec struct itself; every named spec must
+	// therefore differ in at least one field or two configurations would
+	// share one simulation.
+	keys := map[memoKey]bool{}
 	for _, s := range []spec{specAlloy, specBEAR, specBWOpt, specLH, specPB(0.5), specPB(0.9), specBAB(), specBABDCP()} {
-		k := s.key("x", p)
+		k := memoKey{s: s, wl: "x"}
 		if keys[k] {
-			t.Fatalf("duplicate spec key %s", k)
+			t.Fatalf("duplicate spec key %+v", k)
 		}
 		keys[k] = true
 	}

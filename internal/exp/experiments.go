@@ -43,10 +43,16 @@ func specBABDCP() spec {
 }
 
 // aggRate byte-weight-aggregates the 16 rate workloads under one spec.
+// All 16 simulations run concurrently; the fold happens in catalog order.
 func aggRate(r *Runner, s spec) (*aggregate, error) {
+	names := trace.RateNames()
+	futs := make([]Future, len(names))
+	for i, name := range names {
+		futs[i] = r.RateAsync(s, name)
+	}
 	var a aggregate
-	for _, name := range trace.RateNames() {
-		run, err := r.Rate(s, name)
+	for _, f := range futs {
+		run, err := f.Wait()
 		if err != nil {
 			return nil, err
 		}
@@ -57,9 +63,13 @@ func aggRate(r *Runner, s spec) (*aggregate, error) {
 
 // aggMix aggregates the first n mixes.
 func aggMix(r *Runner, s spec, n int) (*aggregate, error) {
-	var a aggregate
+	futs := make([]Future, n)
 	for m := 1; m <= n; m++ {
-		run, err := r.Mix(s, m)
+		futs[m-1] = r.MixAsync(s, m)
+	}
+	var a aggregate
+	for _, f := range futs {
+		run, err := f.Wait()
 		if err != nil {
 			return nil, err
 		}
@@ -75,6 +85,7 @@ func init() {
 		Title:    "Loh-Hill vs Alloy vs BW-Opt: Bloat Factor, hit latency, speedup over no-DRAM-cache",
 		About:    "16 rate workloads; dramcache/{lohhill,alloy} with Ideal knob; paper: bloat 7.3x/3.8x/1.0x",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			r.PrefetchRate([]spec{specLH, specAlloy, specBWOpt, specNoL4}, trace.RateNames())
 			t := newTable("Design", "BloatFactor", "HitLatency", "Speedup-vs-NoL4")
 			for _, d := range []struct {
 				name string
@@ -101,6 +112,7 @@ func init() {
 		Title:    "Alloy bandwidth breakdown vs BW-Opt, and potential performance",
 		About:    "16 rate workloads; stats six-way breakdown; paper: Alloy 3.8x total (Hit 1.25), +22% potential",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			r.PrefetchRate([]spec{specAlloy, specBWOpt}, trace.RateNames())
 			t := newTable("Design", "Hit", "MissProbe", "MissFill", "WBProbe", "WBUpdate", "WBFill", "Total")
 			for _, d := range []struct {
 				name string
@@ -133,6 +145,7 @@ func init() {
 		Title:    "Naive Probabilistic Bypass (P=50%, P=90%): hit latency, hit rate, speedup",
 		About:    "16 rate workloads; core/bab in naive mode; paper: -12% latency at P=90 but hit-rate losses (Gems, zeusmp) erase the gains",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			r.PrefetchRate([]spec{specAlloy, specPB(0.5), specPB(0.9)}, trace.RateNames())
 			t := newTable("Workload", "dHitLat50", "dHitLat90", "dHitRate50", "dHitRate90", "Speedup50", "Speedup90")
 			var s50s, s90s []float64
 			for _, name := range trace.RateNames() {
@@ -174,6 +187,7 @@ func init() {
 		Title:    "Bandwidth-Aware Bypass: speedup over Alloy",
 		About:    "16 rate workloads; core/bab set-dueling; paper: +5.1% average, up to +15%, no workload degraded",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			r.PrefetchRate([]spec{specAlloy, specBAB()}, trace.RateNames())
 			t := newTable("Workload", "Speedup", "HitRate-Alloy", "HitRate-BAB")
 			var sp []float64
 			for _, name := range trace.RateNames() {
@@ -201,6 +215,7 @@ func init() {
 		Title:    "DRAM Cache Presence on top of BAB: speedup over Alloy",
 		About:    "16 rate workloads; core DCP bit in L3; paper: +4% over BAB (max +12.8% omnetpp, +11.3% gcc)",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			r.PrefetchRate([]spec{specAlloy, specBAB(), specBABDCP()}, trace.RateNames())
 			t := newTable("Workload", "BAB", "BAB+DCP")
 			var a, b []float64
 			for _, name := range trace.RateNames() {
@@ -232,6 +247,7 @@ func init() {
 		Title:    "Neighboring Tag Cache on top of BAB+DCP: speedup over Alloy",
 		About:    "16 rate workloads; core/ntc; paper: +2% over BAB+DCP, plus miss-latency reduction via squashed parallel accesses",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			r.PrefetchRate([]spec{specAlloy, specBAB(), specBABDCP(), specBEAR}, trace.RateNames())
 			t := newTable("Workload", "BAB", "BAB+DCP", "BAB+DCP+NTC")
 			var a, b, c []float64
 			for _, name := range trace.RateNames() {
@@ -267,6 +283,8 @@ func init() {
 		Title:    "Alloy vs BEAR vs BW-Opt across all workloads (RATE / MIX / ALL)",
 		About:    "16 rate + MIX workloads; all modules; paper: BEAR +10.1%, BW-Opt +22% over Alloy",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			r.PrefetchRate([]spec{specAlloy, specBEAR, specBWOpt}, trace.RateNames())
+			r.PrefetchMixWS([]spec{specAlloy, specBEAR, specBWOpt}, p.Mixes)
 			t := newTable("Workload", "Alloy", "BEAR", "BW-Opt")
 			perBear, _, err := r.rateSpeedups(specBEAR, specAlloy)
 			if err != nil {
@@ -314,6 +332,7 @@ func init() {
 		Title:    "DRAM-cache hit rate and latencies: Alloy vs BEAR",
 		About:    "16 rate workloads aggregate; paper: 63.2%->61.0% hit rate, 239->182 hit latency, 391->356 miss latency",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			r.PrefetchRate([]spec{specAlloy, specBEAR}, trace.RateNames())
 			t := newTable("Design", "HitRate", "HitLat", "MissLat", "AvgLat")
 			for _, d := range []struct {
 				name string
@@ -347,6 +366,12 @@ func init() {
 				{"(d) BEAR", specBEAR},
 				{"(e) BW-Opt", specBWOpt},
 			}
+			all := make([]spec, len(schemes))
+			for i, sch := range schemes {
+				all[i] = sch.s
+			}
+			r.PrefetchRate(all, trace.RateNames())
+			r.PrefetchMix(all, p.Mixes)
 			for _, group := range []string{"RATE", "MIX", "ALL"} {
 				section(w, group)
 				t := newTable("Scheme", "Hit", "MissProbe", "MissFill", "WBProbe", "WBUpdate", "WBFill", "Total")
@@ -393,6 +418,18 @@ func init() {
 		Title:    "Sensitivity to DRAM-cache bandwidth (4x/8x/16x) and capacity (0.5/1/2 GB)",
 		About:    "16 rate workloads per point; BEAR normalized to Alloy at each configuration; paper: >10% everywhere",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			var variants []spec
+			for _, ch := range []int{2, 4, 8} {
+				al, be := specAlloy, specBEAR
+				al.channels, be.channels = ch, ch
+				variants = append(variants, al, be)
+			}
+			for _, mb := range []int64{512, 1024, 2048} {
+				al, be := specAlloy, specBEAR
+				al.capacityMB, be.capacityMB = mb, mb
+				variants = append(variants, al, be)
+			}
+			r.PrefetchRate(variants, trace.RateNames())
 			section(w, "(a) Bandwidth")
 			ta := newTable("L4-Bandwidth", "Channels", "BEAR-vs-Alloy")
 			for _, ch := range []int{2, 4, 8} {
@@ -428,6 +465,13 @@ func init() {
 		Title:    "Sensitivity to DRAM banks (64..2048 total)",
 		About:    "16 rate workloads per point; paper: +11% at 64 banks flattening to +6% at >=512 (bus contention component)",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			var variants []spec
+			for _, per := range []int{16, 32, 64, 128, 256, 512} {
+				al, be := specAlloy, specBEAR
+				al.banks, be.banks = per, per
+				variants = append(variants, al, be)
+			}
+			r.PrefetchRate(variants, trace.RateNames())
 			t := newTable("TotalBanks", "PerChannel", "BEAR-vs-Alloy")
 			for _, per := range []int{16, 32, 64, 128, 256, 512} {
 				al, be := specAlloy, specBEAR
@@ -449,6 +493,7 @@ func init() {
 		Title:    "Tags-In-SRAM (64MB) and Sector Cache (6MB) vs Alloy and BEAR",
 		About:    "16 rate workloads; dramcache/{tis,sector}; paper: BEAR +10.1% > TIS +7.5% > Alloy > SC -18%",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			r.PrefetchRate([]spec{specAlloy, specBEAR, specTIS, specSC}, trace.RateNames())
 			t := newTable("Design", "HitRate", "HitLat", "MissLat", "BloatFactor", "Speedup-vs-Alloy")
 			for _, d := range []struct {
 				name string
@@ -477,6 +522,9 @@ func init() {
 		Title:    "DRAM-cache designs vs no-DRAM-cache: LH, MC, Alloy, Incl-Alloy, BEAR",
 		About:    "RATE/MIX/ALL geomeans over no-L4 baseline; paper: 1.27 / 1.30 / 1.46 / 1.55 / 1.66",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			designs := []spec{specNoL4, specLH, specMC, specAlloy, specIncl, specBEAR}
+			r.PrefetchRate(designs, trace.RateNames())
+			r.PrefetchMixWS(designs, p.Mixes)
 			t := newTable("Design", "RATE", "MIX", "ALL")
 			for _, d := range []struct {
 				name string
@@ -502,6 +550,7 @@ func init() {
 		Title:    "Workload characteristics: target vs measured L3 MPKI",
 		About:    "Validates the synthetic SPEC substitutes against Table 2",
 		Run: func(p Params, w io.Writer, r *Runner) error {
+			r.PrefetchRate([]spec{specAlloy}, trace.RateNames())
 			t := newTable("Workload", "TargetMPKI", "MeasuredMPKI", "Footprint", "Class", "L4HitRate")
 			for _, b := range trace.Catalog {
 				run, err := r.Rate(specAlloy, b.Name)

@@ -32,10 +32,19 @@ type Sim struct {
 // executes warm instructions before measurement and meas instructions
 // during it.
 func NewSim(cfg config.System, wl trace.Workload, warm, meas uint64) (*Sim, error) {
+	return NewSimQueue(cfg, wl, warm, meas, &event.Queue{})
+}
+
+// NewSimQueue is NewSim with a caller-supplied event queue, which it Resets
+// before use. Worker pools running many simulations back to back pass a
+// pooled queue so its grown backing array is reused instead of reallocated
+// per simulation.
+func NewSimQueue(cfg config.System, wl trace.Workload, warm, meas uint64, q *event.Queue) (*Sim, error) {
 	if len(wl.Sources) == 0 {
 		return nil, fmt.Errorf("hier: workload %q has no sources", wl.Name)
 	}
-	s := &Sim{Cfg: cfg, Workload: wl, Q: &event.Queue{}}
+	q.Reset()
+	s := &Sim{Cfg: cfg, Workload: wl, Q: q}
 	cores := len(wl.Sources)
 	s.Hier = New(cfg, s.Q, cores)
 	bundle, err := dramcache.Build(cfg, s.Q, s.Hier.Hooks())

@@ -1,0 +1,14 @@
+#!/bin/sh
+# ci.sh — the verify gauntlet for every PR.
+#
+# The race job matters here: the experiment Runner fans simulations out to
+# a worker pool, and the exp test suite (determinism, singleflight and
+# progress-atomicity tests) exercises that concurrency, so `go test -race`
+# actually probes the paths a data race would hide in.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
