@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench ci
+.PHONY: all build test race vet bench bench-smoke bench-snapshot ci
 
 all: build
 
@@ -24,4 +24,14 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-ci: vet build race
+# bench-smoke compiles and runs every benchmark once (no timing fidelity);
+# it guards against benchmark bit-rot without slowing CI down.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-snapshot records a timed run into the next free BENCH_<n>.json
+# (see README "Performance").
+bench-snapshot:
+	scripts/bench.sh
+
+ci: vet build race bench-smoke

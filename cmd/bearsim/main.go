@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -46,8 +47,34 @@ func main() {
 		traces   = flag.String("trace", "", "glob of per-core trace files (see beartrace); replaces -workload")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations across the workload x design sweep")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON (an array when sweeping)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // only reachable allocations: the structural floor
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	cfg := bear.DefaultConfig()
 	cfg.Scale = *scale
@@ -145,6 +172,7 @@ func oneDesign(name string) (bear.Design, error) {
 }
 
 func fail(err error) {
+	pprof.StopCPUProfile() // flush any in-progress profile; os.Exit skips defers
 	fmt.Fprintf(os.Stderr, "bearsim: %v\n", err)
 	if strings.Contains(err.Error(), "unknown design") {
 		os.Exit(2)

@@ -9,6 +9,11 @@
 // when a blocking load completes. This exposes memory-level parallelism —
 // the property that makes DRAM-cache bandwidth, not just latency, determine
 // performance — without per-cycle pipeline simulation.
+//
+// The per-instruction path is steady-state allocation-free: the core's wakeup
+// callback is bound once at construction, load-completion callbacks are
+// pooled tokens with pre-bound methods, and the outstanding-load window is a
+// reusable ring buffer.
 package cpu
 
 import (
@@ -40,6 +45,122 @@ type pendingLoad struct {
 	pending    bool   // true while waiting for an async callback
 }
 
+// loadRing is a growable FIFO ring of pending loads. The window advances
+// monotonically (push at tail, pop at head), so a head/length ring reuses
+// its backing array forever instead of crawling a slice forward. Capacity
+// is kept a power of two so indexing is a mask, not a division — At sits on
+// the per-instruction path.
+type loadRing struct {
+	buf  []pendingLoad
+	head int
+	n    int
+}
+
+// Len reports the number of outstanding loads.
+func (r *loadRing) Len() int { return r.n }
+
+// At returns the i-th outstanding load in issue order.
+func (r *loadRing) At(i int) *pendingLoad { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+// Push appends a load at the tail, growing the ring when full.
+func (r *loadRing) Push(p pendingLoad) {
+	if r.n == len(r.buf) {
+		grown := make([]pendingLoad, max(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = *r.At(i)
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+// PopFront removes the oldest outstanding load.
+func (r *loadRing) PopFront() {
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
+// timeHeap is a reusable min-heap of completion times for loads the port
+// answered synchronously. Draining it as core time advances keeps the MSHR
+// occupancy count exact without rescanning the outstanding window.
+type timeHeap struct{ h []uint64 }
+
+func (t *timeHeap) push(v uint64) {
+	t.h = append(t.h, v)
+	i := len(t.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.h[p] <= v {
+			break
+		}
+		t.h[i] = t.h[p]
+		i = p
+	}
+	t.h[i] = v
+}
+
+// drainLE removes every entry <= limit and returns how many were removed.
+func (t *timeHeap) drainLE(limit uint64) int {
+	n := 0
+	for len(t.h) > 0 && t.h[0] <= limit {
+		last := len(t.h) - 1
+		v := t.h[last]
+		t.h = t.h[:last]
+		if last > 0 {
+			i := 0
+			for {
+				l := 2*i + 1
+				if l >= last {
+					break
+				}
+				if r := l + 1; r < last && t.h[r] < t.h[l] {
+					l = r
+				}
+				if t.h[l] >= v {
+					break
+				}
+				t.h[i] = t.h[l]
+				i = l
+			}
+			t.h[i] = v
+		}
+		n++
+	}
+	return n
+}
+
+// doneToken is a pooled load-completion callback: fn is the pre-bound
+// complete method, so issuing a load allocates nothing once the pool is
+// warm. Tokens are released when their callback fires (async loads) or
+// immediately (loads the port answered synchronously).
+type doneToken struct {
+	c    *Core
+	idx  uint64
+	fn   event.Func
+	next *doneToken
+}
+
+// complete marks the load issued as instruction idx finished and resumes the
+// core.
+func (d *doneToken) complete(now uint64) {
+	c, idx := d.c, d.idx
+	c.putToken(d)
+	for i := 0; i < c.outstanding.Len(); i++ {
+		p := c.outstanding.At(i)
+		if p.idx == idx && p.pending {
+			p.pending = false
+			p.completeAt = now
+			// run() will set c.time >= now, so this entry is no longer
+			// live; retire its MSHR slot immediately.
+			c.inflight--
+			break
+		}
+	}
+	c.run(now)
+}
+
 // Core simulates one processor core.
 type Core struct {
 	ID  int
@@ -53,8 +174,12 @@ type Core struct {
 	measBudget  uint64
 	retired     uint64
 	time        uint64 // core-local time, >= q.Now() when running
-	outstanding []pendingLoad
-	inflight    int // outstanding entries still pending or not yet complete
+	outstanding loadRing
+	inflight    int      // live MSHR slots, kept exact incrementally
+	syncDone    timeHeap // completion times of in-flight sync loads
+
+	runFn  event.Func // pre-bound c.run, shared by every wakeup
+	tokens *doneToken // pooled load-completion callbacks
 
 	op      trace.Op
 	opValid bool
@@ -77,11 +202,31 @@ type Core struct {
 // New creates a core that will retire warm+meas instructions from src.
 func New(id int, cfg config.Core, q *event.Queue, src trace.Source, port MemPort,
 	warm, meas uint64, onWarm func(int), onFinish func(int, uint64)) *Core {
-	return &Core{
+	c := &Core{
 		ID: id, cfg: cfg, q: q, src: src, port: port,
 		warmBudget: warm, measBudget: meas,
 		onWarm: onWarm, onFinish: onFinish,
 	}
+	c.runFn = c.run
+	return c
+}
+
+func (c *Core) getToken(idx uint64) *doneToken {
+	d := c.tokens
+	if d == nil {
+		d = &doneToken{c: c}
+		d.fn = d.complete
+	} else {
+		c.tokens = d.next
+		d.next = nil
+	}
+	d.idx = idx
+	return d
+}
+
+func (c *Core) putToken(d *doneToken) {
+	d.next = c.tokens
+	c.tokens = d
 }
 
 // Retired returns the instructions retired so far.
@@ -112,7 +257,7 @@ func (c *Core) IPC() float64 {
 
 // Start schedules the core's first execution slice.
 func (c *Core) Start() {
-	c.q.At(c.q.Now(), func(now uint64) { c.run(now) })
+	c.q.At(c.q.Now(), c.runFn)
 }
 
 // run advances the core until it must wait for a load or yields its
@@ -149,12 +294,15 @@ func (c *Core) run(now uint64) {
 		}
 
 		// Stall checks. A full MSHR file or exhausted window blocks issue
-		// until the relevant load completes.
+		// until the relevant load completes (MSHRs free on completion
+		// regardless of order: async frees in the callback, sync frees as
+		// core time passes the completion time recorded in syncDone).
+		c.inflight -= c.syncDone.drainLE(c.time)
 		if c.inflight >= c.cfg.MSHRs {
 			c.waitForLoads(true)
 			return
 		}
-		if len(c.outstanding) > 0 && c.retired-c.outstanding[0].idx >= uint64(c.cfg.Window) {
+		if c.outstanding.Len() > 0 && c.retired-c.outstanding.At(0).idx >= uint64(c.cfg.Window) {
 			c.waitForLoads(false)
 			return
 		}
@@ -176,56 +324,42 @@ func (c *Core) run(now uint64) {
 			c.port.Store(c.time, c.ID, op.Line, op.PC)
 		} else {
 			idx := c.retired
-			completeAt, sync := c.port.Load(c.time, c.ID, op.Line, op.PC, c.loadDone(idx))
+			tok := c.getToken(idx)
+			completeAt, sync := c.port.Load(c.time, c.ID, op.Line, op.PC, tok.fn)
+			if sync {
+				// The port answered without keeping the callback.
+				c.putToken(tok)
+			}
 			if sync && completeAt <= c.time {
 				// Already satisfied; nothing outstanding.
 			} else {
-				c.outstanding = append(c.outstanding, pendingLoad{idx: idx, completeAt: completeAt, pending: !sync})
+				c.outstanding.Push(pendingLoad{idx: idx, completeAt: completeAt, pending: !sync})
 				c.inflight++
+				if sync {
+					c.syncDone.push(completeAt)
+				}
 			}
 		}
 
 		if c.time > now+quantum {
 			// Yield; resume when global time catches up.
-			c.q.At(c.time, func(t uint64) { c.run(t) })
+			c.q.At(c.time, c.runFn)
 			return
 		}
 	}
 }
 
-// loadDone returns the completion callback for the load issued as
-// instruction idx.
-func (c *Core) loadDone(idx uint64) event.Func {
-	return func(now uint64) {
-		for i := range c.outstanding {
-			if c.outstanding[i].idx == idx && c.outstanding[i].pending {
-				c.outstanding[i].pending = false
-				c.outstanding[i].completeAt = now
-				break
-			}
-		}
-		c.run(now)
-	}
-}
-
-// popCompleted releases finished loads in program order and retires their
-// MSHR slots (MSHRs free on completion regardless of order).
+// popCompleted releases finished loads in program order.
 func (c *Core) popCompleted() {
-	live := 0
-	for _, p := range c.outstanding {
-		if p.pending || p.completeAt > c.time {
-			live++
-		}
-	}
-	c.inflight = live
-	for len(c.outstanding) > 0 {
-		p := c.outstanding[0]
+	for c.outstanding.Len() > 0 {
+		p := c.outstanding.At(0)
 		if p.pending || p.completeAt > c.time {
 			break
 		}
-		c.outstanding = c.outstanding[1:]
+		c.outstanding.PopFront()
 	}
 }
+
 
 // waitForLoads schedules the core's resumption: if any blocking entry has a
 // known completion time it wakes then; async completions re-invoke run via
@@ -236,22 +370,23 @@ func (c *Core) waitForLoads(anyLoad bool) {
 	var wake uint64
 	haveWake := false
 	if anyLoad {
-		for _, p := range c.outstanding {
+		for i := 0; i < c.outstanding.Len(); i++ {
+			p := c.outstanding.At(i)
 			if !p.pending && p.completeAt > c.time {
 				if !haveWake || p.completeAt < wake {
 					wake, haveWake = p.completeAt, true
 				}
 			}
 		}
-	} else if len(c.outstanding) > 0 {
-		p := c.outstanding[0]
+	} else if c.outstanding.Len() > 0 {
+		p := c.outstanding.At(0)
 		if !p.pending {
 			wake, haveWake = p.completeAt, true
 		}
 	}
 	if haveWake {
 		c.StallCycles += wake - stallFrom
-		c.q.At(wake, func(t uint64) { c.run(t) })
+		c.q.At(wake, c.runFn)
 	}
 	// Otherwise a pending callback will resume us.
 }

@@ -15,6 +15,13 @@
 //
 // The same model instantiates both the stacked-DRAM cache (high bandwidth)
 // and the DDR main memory (low bandwidth); only the config differs.
+//
+// The per-transaction hot path is steady-state allocation-free: Request
+// objects are recycled through a per-Memory freelist (a request completes
+// deterministically in its completion event, where it is returned to the
+// pool), each request carries a pre-bound completion callback so scheduling
+// one costs no closure allocation, and the per-channel queues are head-index
+// rings so the common FCFS dequeue never copies the queue tail.
 package dram
 
 import (
@@ -26,6 +33,11 @@ import (
 
 // Request describes one DRAM transaction. Channel/Bank/Row must be within
 // the configured geometry; Bytes is the data-bus payload.
+//
+// Requests obtained through Memory.Read / Memory.Write are pooled: the
+// Memory recycles them when their completion event fires, so callers must
+// not retain them. Externally constructed Requests passed to Enqueue are
+// never recycled and stay owned by the caller.
 type Request struct {
 	Channel int
 	Bank    int
@@ -36,6 +48,11 @@ type Request struct {
 	OnComplete event.Func
 
 	enqueued uint64
+
+	m      *Memory    // memory this request is bound to
+	fn     event.Func // pre-bound r.complete, created once per Request
+	pooled bool       // came from m's freelist; recycle on completion
+	next   *Request   // freelist link
 }
 
 // Stats aggregates per-memory counters.
@@ -76,10 +93,60 @@ type bank struct {
 	openAt    uint64 // cycle the open row became CAS-ready
 }
 
+// reqQ is a FIFO request queue with O(1) head removal: a slice plus a head
+// index. Removing the head (the common FCFS pick) just advances the index;
+// the vacated prefix is reclaimed by compacting on a later push once it
+// dominates the backing array, which keeps pushes amortised O(1) without
+// ever copying on the scheduler's critical pick path.
+type reqQ struct {
+	buf  []*Request
+	head int
+}
+
+// Len reports the number of queued requests.
+func (q *reqQ) Len() int { return len(q.buf) - q.head }
+
+// At returns the i-th queued request in FIFO order.
+func (q *reqQ) At(i int) *Request { return q.buf[q.head+i] }
+
+// Push appends a request, compacting the dead prefix when it has grown to
+// half the backing array.
+func (q *reqQ) Push(r *Request) {
+	if q.head > 0 && q.head*2 >= cap(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, r)
+}
+
+// RemoveAt removes and returns the i-th queued request. i == 0 is O(1);
+// other positions shift the tail, bounded by the scheduler's scan limit.
+func (q *reqQ) RemoveAt(i int) *Request {
+	j := q.head + i
+	r := q.buf[j]
+	if i == 0 {
+		q.buf[j] = nil
+		q.head++
+		if q.head == len(q.buf) {
+			q.buf = q.buf[:0]
+			q.head = 0
+		}
+		return r
+	}
+	copy(q.buf[j:], q.buf[j+1:])
+	q.buf[len(q.buf)-1] = nil
+	q.buf = q.buf[:len(q.buf)-1]
+	return r
+}
+
 type channel struct {
 	banks  []bank
-	readQ  []*Request
-	writeQ []*Request
+	readQ  reqQ
+	writeQ reqQ
 
 	busFreeAt uint64
 	draining  bool
@@ -94,9 +161,10 @@ type Memory struct {
 	Name  string
 	Stats Stats
 
-	cfg config.DRAM
-	q   *event.Queue
-	ch  []*channel
+	cfg  config.DRAM
+	q    *event.Queue
+	ch   []*channel
+	free *Request // recycled Request freelist
 }
 
 // New creates a Memory with the given geometry attached to the event queue.
@@ -112,6 +180,30 @@ func New(name string, cfg config.DRAM, q *event.Queue) *Memory {
 // Config returns the geometry this memory was built with.
 func (m *Memory) Config() config.DRAM { return m.cfg }
 
+// get returns a pooled request, allocating (and binding its completion
+// callback) only when the freelist is empty.
+func (m *Memory) get() *Request {
+	r := m.free
+	if r == nil {
+		r = &Request{m: m, pooled: true}
+		r.fn = r.complete
+		return r
+	}
+	m.free = r.next
+	r.next = nil
+	return r
+}
+
+// put recycles a pooled request. Externally owned requests are left alone.
+func (m *Memory) put(r *Request) {
+	if !r.pooled {
+		return
+	}
+	r.OnComplete = nil
+	r.next = m.free
+	m.free = r
+}
+
 // Enqueue submits a request. Reads invoke r.OnComplete at data return;
 // writes complete silently (posted) but still consume bank and bus time.
 func (m *Memory) Enqueue(now uint64, r *Request) {
@@ -124,27 +216,38 @@ func (m *Memory) Enqueue(now uint64, r *Request) {
 	if r.Bytes <= 0 {
 		panic("dram: request with no payload")
 	}
+	if r.m == nil {
+		// Externally constructed: bind the completion callback once.
+		r.m = m
+		r.fn = r.complete
+	} else if r.m != m {
+		panic(fmt.Sprintf("dram %s: request bound to memory %s", m.Name, r.m.Name))
+	}
 	r.enqueued = now
 	c := m.ch[r.Channel]
 	if r.Write {
-		c.writeQ = append(c.writeQ, r)
+		c.writeQ.Push(r)
 	} else {
-		c.readQ = append(c.readQ, r)
-		if len(c.readQ) > m.Stats.MaxReadQLen {
-			m.Stats.MaxReadQLen = len(c.readQ)
+		c.readQ.Push(r)
+		if c.readQ.Len() > m.Stats.MaxReadQLen {
+			m.Stats.MaxReadQLen = c.readQ.Len()
 		}
 	}
 	m.kick(now, c)
 }
 
-// Read is a convenience wrapper for a read transaction.
+// Read submits a pooled read transaction.
 func (m *Memory) Read(now uint64, ch, bk int, row uint64, bytes int, done event.Func) {
-	m.Enqueue(now, &Request{Channel: ch, Bank: bk, Row: row, Bytes: bytes, OnComplete: done})
+	r := m.get()
+	r.Channel, r.Bank, r.Row, r.Bytes, r.Write, r.OnComplete = ch, bk, row, bytes, false, done
+	m.Enqueue(now, r)
 }
 
-// Write is a convenience wrapper for a posted write transaction.
+// Write submits a pooled posted write transaction.
 func (m *Memory) Write(now uint64, ch, bk int, row uint64, bytes int) {
-	m.Enqueue(now, &Request{Channel: ch, Bank: bk, Row: row, Bytes: bytes, Write: true})
+	r := m.get()
+	r.Channel, r.Bank, r.Row, r.Bytes, r.Write, r.OnComplete = ch, bk, row, bytes, true, nil
+	m.Enqueue(now, r)
 }
 
 // Pending reports the number of queued (unscheduled) requests, for tests and
@@ -152,7 +255,7 @@ func (m *Memory) Write(now uint64, ch, bk int, row uint64, bytes int) {
 func (m *Memory) Pending() int {
 	n := 0
 	for _, c := range m.ch {
-		n += len(c.readQ) + len(c.writeQ) + c.committed
+		n += c.readQ.Len() + c.writeQ.Len() + c.committed
 	}
 	return n
 }
@@ -169,20 +272,20 @@ const scanLimit = 16
 func (m *Memory) kick(now uint64, c *channel) {
 	for c.committed < m.cfg.Banks {
 		// Update write-drain mode (watermark hysteresis).
-		if len(c.writeQ) >= m.cfg.WriteQHi {
+		if c.writeQ.Len() >= m.cfg.WriteQHi {
 			c.draining = true
 		}
-		if len(c.writeQ) <= m.cfg.WriteQLo {
+		if c.writeQ.Len() <= m.cfg.WriteQLo {
 			c.draining = false
 		}
 
-		var pool *[]*Request
+		var pool *reqQ
 		switch {
-		case len(c.readQ) > 0 && !c.draining:
+		case c.readQ.Len() > 0 && !c.draining:
 			pool = &c.readQ
-		case len(c.writeQ) > 0:
+		case c.writeQ.Len() > 0:
 			pool = &c.writeQ
-		case len(c.readQ) > 0:
+		case c.readQ.Len() > 0:
 			pool = &c.readQ
 		default:
 			return
@@ -193,12 +296,12 @@ func (m *Memory) kick(now uint64, c *channel) {
 		best := -1
 		var bestStart uint64
 		bestHit := false
-		limit := len(*pool)
+		limit := pool.Len()
 		if limit > scanLimit {
 			limit = scanLimit
 		}
 		for i := 0; i < limit; i++ {
-			r := (*pool)[i]
+			r := pool.At(i)
 			start, hit := m.burstStart(now, c, r)
 			if best == -1 || start < bestStart || (start == bestStart && hit && !bestHit) {
 				best, bestStart, bestHit = i, start, hit
@@ -215,8 +318,7 @@ func (m *Memory) kick(now uint64, c *channel) {
 				return
 			}
 		}
-		r := (*pool)[best]
-		*pool = append((*pool)[:best], (*pool)[best+1:]...)
+		r := pool.RemoveAt(best)
 		m.commit(now, c, r, bestStart, bestHit)
 	}
 }
@@ -298,21 +400,31 @@ func (m *Memory) commit(now uint64, c *channel, r *Request, start uint64, rowHit
 	c.committed++
 	m.Stats.BusBusy += burst
 
-	m.q.At(end, func(t uint64) {
-		if r.Write {
-			m.Stats.Writes++
-			m.Stats.WriteBytes += uint64(r.Bytes)
-		} else {
-			m.Stats.Reads++
-			m.Stats.ReadBytes += uint64(r.Bytes)
-			m.Stats.ReadQDelay += t - r.enqueued
-		}
-		c.committed--
-		if r.OnComplete != nil {
-			r.OnComplete(t)
-		}
-		m.kick(t, c)
-	})
+	m.q.At(end, r.fn)
+}
+
+// complete is the data-burst completion event, pre-bound into r.fn so
+// scheduling it allocates nothing. It retires the request's statistics,
+// recycles the request, delivers the caller's callback, and re-kicks the
+// scheduler — in exactly that order, which the determinism tests pin down.
+func (r *Request) complete(t uint64) {
+	m := r.m
+	c := m.ch[r.Channel]
+	if r.Write {
+		m.Stats.Writes++
+		m.Stats.WriteBytes += uint64(r.Bytes)
+	} else {
+		m.Stats.Reads++
+		m.Stats.ReadBytes += uint64(r.Bytes)
+		m.Stats.ReadQDelay += t - r.enqueued
+	}
+	c.committed--
+	done := r.OnComplete
+	m.put(r) // fields are dead; the callback may re-issue and reuse r
+	if done != nil {
+		done(t)
+	}
+	m.kick(t, c)
 }
 
 func max64(a, b uint64) uint64 {

@@ -338,3 +338,34 @@ func TestAlignRefresh(t *testing.T) {
 		}
 	}
 }
+
+func TestEnqueueCompleteAllocFree(t *testing.T) {
+	// The per-access hot path must not allocate once the request freelist
+	// and queues are warm: a gigascale sweep issues hundreds of millions of
+	// DRAM transactions, and per-request garbage was the simulator's
+	// dominant cost. Reads carry a completion callback; writes exercise the
+	// write-drain path.
+	var q event.Queue
+	m := New("t", testCfg(), &q)
+	noop := func(uint64) {}
+
+	// Warm: grow the freelist, ring queues and event heap to steady state.
+	for i := uint64(0); i < 64; i++ {
+		m.Read(q.Now(), int(i%2), int(i%4), i%32, 80, noop)
+		m.Write(q.Now(), int((i+1)%2), int(i%4), i%32, 64)
+	}
+	q.Run(nil)
+
+	row := uint64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		row++
+		for i := 0; i < 8; i++ {
+			m.Read(q.Now(), i%2, i%4, row%32, 80, noop)
+			m.Write(q.Now(), (i+1)%2, i%4, row%32, 64)
+		}
+		q.Run(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm enqueue->complete allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"bear/internal/config"
 	"bear/internal/core"
 	"bear/internal/dram"
+	"bear/internal/event"
 	"bear/internal/stats"
 )
 
@@ -66,6 +67,182 @@ type Alloy struct {
 	mem   *MainMemory
 	hooks Hooks
 	st    stats.L4
+
+	txnFree *alloyTxn // recycled per-access transaction pool
+}
+
+// alloyTxn carries one in-flight access's timing state. Transactions are
+// pooled per cache with every completion callback pre-bound as a method
+// value, so an L4 hit or miss allocates zero bytes in steady state — the
+// per-access closures this replaces were the simulator's dominant GC load.
+type alloyTxn struct {
+	a      *Alloy
+	now    uint64
+	line   uint64
+	ch, bk int
+	row    uint64
+	done   func(uint64, ReadResult)
+
+	statusUpdate bool // hit path: in-DRAM reuse bit must be written back
+	filled       bool // miss path: line was installed (fill on data arrival)
+	hit          bool // writeback path: probe found the line
+	victimLine   uint64
+	victimValid  bool
+	victimDirty  bool
+	pendingBoth  int // parallel path: completions still outstanding
+
+	fnHit, fnMissMem, fnBothProbe, fnBothMem    event.Func
+	fnSerialProbe, fnSerialMem                  event.Func
+	fnIdealHit, fnIdealMiss, fnWBProbe          event.Func
+	next                                        *alloyTxn
+}
+
+func (a *Alloy) getTxn() *alloyTxn {
+	x := a.txnFree
+	if x == nil {
+		x = &alloyTxn{a: a}
+		x.fnHit = x.onHit
+		x.fnMissMem = x.onMissMem
+		x.fnBothProbe = x.onBothProbe
+		x.fnBothMem = x.onBothMem
+		x.fnSerialProbe = x.onSerialProbe
+		x.fnSerialMem = x.onSerialMem
+		x.fnIdealHit = x.onIdealHit
+		x.fnIdealMiss = x.onIdealMiss
+		x.fnWBProbe = x.onWBProbe
+	} else {
+		a.txnFree = x.next
+		x.next = nil
+	}
+	x.statusUpdate, x.filled, x.hit = false, false, false
+	x.victimValid, x.victimDirty = false, false
+	x.pendingBoth = 0
+	return x
+}
+
+func (a *Alloy) putTxn(x *alloyTxn) {
+	x.done = nil
+	x.next = a.txnFree
+	a.txnFree = x
+}
+
+// onHit completes a hit's probe: the probe is the useful data transfer.
+func (x *alloyTxn) onHit(t uint64) {
+	a := x.a
+	a.st.AddBytes(stats.HitProbe, 80)
+	a.st.Hit(t - x.now)
+	if x.statusUpdate {
+		a.st.AddBytes(stats.ReplUpdate, 80)
+		a.l4.Write(t, x.ch, x.bk, x.row, 80)
+	}
+	done := x.done
+	a.putTxn(x)
+	done(t, ReadResult{FromL4: true, InL4: true})
+}
+
+// fillAt charges the Miss Fill write (and the dirty victim's eviction to
+// memory) when the data arrives from main memory.
+func (x *alloyTxn) fillAt(t uint64) {
+	if !x.filled {
+		return
+	}
+	a := x.a
+	a.st.Fills++
+	a.st.AddBytes(stats.MissFill, 80)
+	a.l4.Write(t, x.ch, x.bk, x.row, 80)
+	if x.victimValid && x.victimDirty {
+		a.mem.WriteLine(t, x.victimLine)
+	}
+}
+
+// finish retires a miss and recycles the transaction.
+func (x *alloyTxn) finish(t uint64) {
+	a := x.a
+	a.st.Miss(t - x.now)
+	done, filled := x.done, x.filled
+	a.putTxn(x)
+	done(t, ReadResult{FromL4: false, InL4: filled})
+}
+
+// onMissMem completes the probe-skipped miss (memory only).
+func (x *alloyTxn) onMissMem(t uint64) {
+	x.fillAt(t)
+	x.finish(t)
+}
+
+// both gates the parallel path: probe and memory proceed concurrently; data
+// is usable when both the miss is confirmed and the line has arrived. Events
+// fire in time order, so the second completion carries max(Tp, Tm).
+func (x *alloyTxn) both(t uint64) {
+	x.pendingBoth--
+	if x.pendingBoth == 0 {
+		x.finish(t)
+	}
+}
+
+func (x *alloyTxn) onBothProbe(t uint64) {
+	x.a.st.AddBytes(stats.MissProbe, 80)
+	x.both(t)
+}
+
+func (x *alloyTxn) onBothMem(t uint64) {
+	x.fillAt(t)
+	x.both(t)
+}
+
+// onSerialProbe is the predicted-hit miss: memory starts only after the
+// probe detects the miss (the serialisation penalty MAP-I exists to avoid).
+func (x *alloyTxn) onSerialProbe(t uint64) {
+	x.a.st.AddBytes(stats.MissProbe, 80)
+	x.a.mem.ReadLine(t, x.line, x.fnSerialMem)
+}
+
+func (x *alloyTxn) onSerialMem(t uint64) {
+	x.fillAt(t)
+	x.finish(t)
+}
+
+// onIdealHit/onIdealMiss are the BW-Optimized completions (64 B hits, all
+// secondary operations logical).
+func (x *alloyTxn) onIdealHit(t uint64) {
+	a := x.a
+	a.st.AddBytes(stats.HitProbe, 64)
+	a.st.Hit(t - x.now)
+	done := x.done
+	a.putTxn(x)
+	done(t, ReadResult{FromL4: true, InL4: true})
+}
+
+func (x *alloyTxn) onIdealMiss(t uint64) {
+	a := x.a
+	a.st.Miss(t - x.now)
+	done := x.done
+	a.putTxn(x)
+	done(t, ReadResult{FromL4: false, InL4: true})
+}
+
+// onWBProbe resolves a writeback whose presence was unknown: the probe has
+// completed and the update, fill or memory forward follows.
+func (x *alloyTxn) onWBProbe(t uint64) {
+	a := x.a
+	a.st.AddBytes(stats.WBProbe, 80)
+	switch {
+	case x.hit:
+		a.st.WBHits++
+		a.st.AddBytes(stats.WBUpdate, 80)
+		a.l4.Write(t, x.ch, x.bk, x.row, 80)
+	case a.opts.WBAllocate:
+		a.st.WBMisses++
+		a.st.AddBytes(stats.WBFill, 80)
+		a.l4.Write(t, x.ch, x.bk, x.row, 80)
+		if x.victimValid && x.victimDirty {
+			a.mem.WriteLine(t, x.victimLine)
+		}
+	default:
+		a.st.WBMisses++
+		a.mem.WriteLine(t, x.line)
+	}
+	a.putTxn(x)
 }
 
 // NewAlloy builds an Alloy-family cache with the given set count over the
@@ -240,22 +417,15 @@ func (a *Alloy) Read(now uint64, coreID int, line, pc uint64, done func(uint64, 
 		// The probe is the useful data transfer.
 		a.depositNeighbor(gb, set)
 		a.depositDemand(gb, set)
-		statusUpdate := false
+		x := a.getTxn()
+		x.now, x.ch, x.bk, x.row, x.done = now, ch, bk, row, done
 		if a.opts.DBP != nil && !a.isReused(set) {
 			// First reuse: the in-DRAM reuse bit must be updated — the
 			// extra access Section 9.2 charges against dead-block schemes.
 			a.setReused(set, true)
-			statusUpdate = true
+			x.statusUpdate = true
 		}
-		a.l4.Read(now, ch, bk, row, 80, func(t uint64) {
-			a.st.AddBytes(stats.HitProbe, 80)
-			a.st.Hit(t - now)
-			if statusUpdate {
-				a.st.AddBytes(stats.ReplUpdate, 80)
-				a.l4.Write(t, ch, bk, row, 80)
-			}
-			done(t, ReadResult{FromL4: true, InL4: true})
-		})
+		a.l4.Read(now, ch, bk, row, 80, x.fnHit)
 		if !predHit {
 			if ntcKnown && ntcPresent {
 				// NTC guarantees the hit: squash the wasteful parallel
@@ -320,60 +490,20 @@ func (a *Alloy) Read(now uint64, coreID int, line, pc uint64, done func(uint64, 
 		a.depositDemand(gb, set)
 	}
 
-	filled := !bypass
-	finish := func(t uint64) {
-		a.st.Miss(t - now)
-		done(t, ReadResult{FromL4: false, InL4: filled})
-	}
-	// fillAt charges the Miss Fill write (and the dirty victim's eviction
-	// to memory) when the data arrives from main memory.
-	fillAt := func(t uint64) {
-		if !filled {
-			return
-		}
-		a.st.Fills++
-		a.st.AddBytes(stats.MissFill, 80)
-		a.l4.Write(t, ch, bk, row, 80)
-		if victimValid && victimDirty {
-			a.mem.WriteLine(t, victimLine)
-		}
-	}
+	x := a.getTxn()
+	x.now, x.line, x.ch, x.bk, x.row, x.done = now, line, ch, bk, row, done
+	x.filled = !bypass
+	x.victimLine, x.victimValid, x.victimDirty = victimLine, victimValid, victimDirty
 
 	switch {
 	case skipProbe:
-		a.mem.ReadLine(now, line, func(t uint64) {
-			fillAt(t)
-			finish(t)
-		})
+		a.mem.ReadLine(now, line, x.fnMissMem)
 	case parallel:
-		// Probe and memory proceed concurrently; data is usable when both
-		// the miss is confirmed and the line has arrived. Events fire in
-		// time order, so the second completion carries max(Tp, Tm).
-		pendingBoth := 2
-		both := func(t uint64) {
-			pendingBoth--
-			if pendingBoth == 0 {
-				finish(t)
-			}
-		}
-		a.l4.Read(now, ch, bk, row, 80, func(t uint64) {
-			a.st.AddBytes(stats.MissProbe, 80)
-			both(t)
-		})
-		a.mem.ReadLine(now, line, func(t uint64) {
-			fillAt(t)
-			both(t)
-		})
+		x.pendingBoth = 2
+		a.l4.Read(now, ch, bk, row, 80, x.fnBothProbe)
+		a.mem.ReadLine(now, line, x.fnBothMem)
 	default:
-		// Predicted hit: memory starts only after the probe detects the
-		// miss (the serialisation penalty MAP-I exists to avoid).
-		a.l4.Read(now, ch, bk, row, 80, func(t uint64) {
-			a.st.AddBytes(stats.MissProbe, 80)
-			a.mem.ReadLine(t, line, func(t2 uint64) {
-				fillAt(t2)
-				finish(t2)
-			})
-		})
+		a.l4.Read(now, ch, bk, row, 80, x.fnSerialProbe)
 	}
 }
 
@@ -382,11 +512,9 @@ func (a *Alloy) Read(now uint64, coreID int, line, pc uint64, done func(uint64, 
 // victims) is still modelled, since BW-Opt idealises only the L4 bus.
 func (a *Alloy) readIdeal(now uint64, set, line uint64, hit bool, ch, bk int, row uint64, done func(uint64, ReadResult)) {
 	if hit {
-		a.l4.Read(now, ch, bk, row, 64, func(t uint64) {
-			a.st.AddBytes(stats.HitProbe, 64)
-			a.st.Hit(t - now)
-			done(t, ReadResult{FromL4: true, InL4: true})
-		})
+		x := a.getTxn()
+		x.now, x.done = now, done
+		a.l4.Read(now, ch, bk, row, 64, x.fnIdealHit)
 		return
 	}
 	if a.isValid(set) {
@@ -402,10 +530,9 @@ func (a *Alloy) readIdeal(now uint64, set, line uint64, hit bool, ch, bk int, ro
 	a.setValid(set, true)
 	a.setDirty(set, false)
 	a.st.Fills++
-	a.mem.ReadLine(now, line, func(t uint64) {
-		a.st.Miss(t - now)
-		done(t, ReadResult{FromL4: false, InL4: true})
-	})
+	x := a.getTxn()
+	x.now, x.done = now, done
+	a.mem.ReadLine(now, line, x.fnIdealMiss)
 }
 
 // Writeback implements Cache.
@@ -472,25 +599,11 @@ func (a *Alloy) Writeback(now uint64, coreID int, line uint64, pres core.Presenc
 		a.setDirty(set, true)
 		a.syncNTC(gb, set)
 	}
-	a.l4.Read(now, ch, bk, row, 80, func(t uint64) {
-		a.st.AddBytes(stats.WBProbe, 80)
-		switch {
-		case hit:
-			a.st.WBHits++
-			a.st.AddBytes(stats.WBUpdate, 80)
-			a.l4.Write(t, ch, bk, row, 80)
-		case a.opts.WBAllocate:
-			a.st.WBMisses++
-			a.st.AddBytes(stats.WBFill, 80)
-			a.l4.Write(t, ch, bk, row, 80)
-			if victimValid && victimDirty {
-				a.mem.WriteLine(t, victimLine)
-			}
-		default:
-			a.st.WBMisses++
-			a.mem.WriteLine(t, line)
-		}
-	})
+	x := a.getTxn()
+	x.line, x.ch, x.bk, x.row = line, ch, bk, row
+	x.hit = hit
+	x.victimLine, x.victimValid, x.victimDirty = victimLine, victimValid, victimDirty
+	a.l4.Read(now, ch, bk, row, 80, x.fnWBProbe)
 }
 
 var _ Cache = (*Alloy)(nil)

@@ -70,6 +70,47 @@ type MainMemory struct {
 	channels    uint64
 	banks       uint64
 	linesPerRow uint64
+
+	fwdFree *victimFwd // recycled victim-forwarding callbacks
+}
+
+// victimFwd is a pooled "read the victim's data, then write it to main
+// memory" completion callback. Every design that recovers dirty victims from
+// the DRAM-cache array (Loh-Hill, TIS, Sector, the MissMap's forced
+// evictions) uses one of these instead of a capturing closure, keeping the
+// eviction path allocation-free.
+type victimFwd struct {
+	m    *MainMemory
+	line uint64
+	fn   event.Func // pre-bound f.complete
+	next *victimFwd
+}
+
+func (f *victimFwd) complete(t uint64) {
+	m, line := f.m, f.line
+	m.putFwd(f)
+	m.WriteLine(t, line)
+}
+
+// VictimFwd returns a completion callback that writes line to main memory
+// when the victim's DRAM-cache read finishes. The callback must be invoked
+// exactly once (dram read completions guarantee this); it recycles itself.
+func (m *MainMemory) VictimFwd(line uint64) event.Func {
+	f := m.fwdFree
+	if f == nil {
+		f = &victimFwd{m: m}
+		f.fn = f.complete
+	} else {
+		m.fwdFree = f.next
+		f.next = nil
+	}
+	f.line = line
+	return f.fn
+}
+
+func (m *MainMemory) putFwd(f *victimFwd) {
+	f.next = m.fwdFree
+	m.fwdFree = f
 }
 
 // NewMainMemory wraps d (which must be the DDR main memory).
@@ -108,8 +149,27 @@ func (m *MainMemory) WriteLine(now uint64, line uint64) {
 // NoL4 is the "no DRAM cache" memory system: every LLC miss goes to main
 // memory. It is the normalisation baseline of Figures 3 and 17.
 type NoL4 struct {
-	mem *MainMemory
-	st  stats.L4
+	mem     *MainMemory
+	st      stats.L4
+	txnFree *noL4Txn
+}
+
+// noL4Txn is the pooled per-read state of the pass-through design.
+type noL4Txn struct {
+	n    *NoL4
+	now  uint64
+	done func(uint64, ReadResult)
+	fn   event.Func // pre-bound t.complete
+	next *noL4Txn
+}
+
+func (t *noL4Txn) complete(at uint64) {
+	n, now, done := t.n, t.now, t.done
+	t.done = nil
+	t.next = n.txnFree
+	n.txnFree = t
+	n.st.Miss(at - now)
+	done(at, ReadResult{})
 }
 
 // NewNoL4 builds the pass-through design.
@@ -120,11 +180,16 @@ func (n *NoL4) Name() string { return "NoL4" }
 
 // Read implements Cache.
 func (n *NoL4) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
-	issue := now
-	n.mem.ReadLine(now, line, func(t uint64) {
-		n.st.Miss(t - issue)
-		done(t, ReadResult{})
-	})
+	t := n.txnFree
+	if t == nil {
+		t = &noL4Txn{n: n}
+		t.fn = t.complete
+	} else {
+		n.txnFree = t.next
+		t.next = nil
+	}
+	t.now, t.done = now, done
+	n.mem.ReadLine(now, line, t.fn)
 }
 
 // Writeback implements Cache.

@@ -3,6 +3,7 @@ package dramcache
 import (
 	"bear/internal/core"
 	"bear/internal/dram"
+	"bear/internal/event"
 	"bear/internal/sram"
 	"bear/internal/stats"
 )
@@ -43,6 +44,102 @@ type LohHill struct {
 	st    stats.L4
 
 	lastNow uint64 // current request time, for MissMap-forced evictions
+
+	txnFree *lhTxn // recycled per-access transaction pool
+}
+
+// lhTxn is the pooled per-access state with pre-bound completion methods
+// (see alloyTxn for the rationale). The hit path chains two of them: the tag
+// read's completion issues the data read.
+type lhTxn struct {
+	l           *LohHill
+	now         uint64
+	line        uint64
+	ch, bk      int
+	row         uint64
+	hit         bool // writeback path: line is present
+	victimLine  uint64
+	victimValid bool
+	victimDirty bool
+	done        func(uint64, ReadResult)
+
+	fnHitTag, fnHitData, fnMiss, fnWBProbe event.Func
+	next                                   *lhTxn
+}
+
+func (l *LohHill) getTxn() *lhTxn {
+	x := l.txnFree
+	if x == nil {
+		x = &lhTxn{l: l}
+		x.fnHitTag = x.onHitTag
+		x.fnHitData = x.onHitData
+		x.fnMiss = x.onMiss
+		x.fnWBProbe = x.onWBProbe
+	} else {
+		l.txnFree = x.next
+		x.next = nil
+	}
+	x.hit = false
+	x.victimValid, x.victimDirty = false, false
+	return x
+}
+
+func (l *LohHill) putTxn(x *lhTxn) {
+	x.done = nil
+	x.next = l.txnFree
+	l.txnFree = x
+}
+
+// onHitTag completes the tag-line read; the data line follows from the
+// now-open row.
+func (x *lhTxn) onHitTag(t uint64) {
+	x.l.st.AddBytes(stats.HitProbe, lhTagBytes)
+	x.l.l4.Read(t, x.ch, x.bk, x.row, lhDataBytes, x.fnHitData)
+}
+
+// onHitData completes the data read and pays the LRU-state write-back
+// (footnote 3's replacement-update bloat).
+func (x *lhTxn) onHitData(t uint64) {
+	l := x.l
+	l.st.AddBytes(stats.HitProbe, lhDataBytes)
+	l.st.Hit(t - x.now)
+	l.st.AddBytes(stats.ReplUpdate, lhDataBytes)
+	l.l4.Write(t, x.ch, x.bk, x.row, lhDataBytes)
+	done := x.done
+	l.putTxn(x)
+	done(t, ReadResult{FromL4: true, InL4: true})
+}
+
+// onMiss completes the memory fetch: fill, recover any dirty victim, retire.
+func (x *lhTxn) onMiss(t uint64) {
+	l := x.l
+	l.st.Miss(t - x.now)
+	l.st.Fills++
+	l.st.AddBytes(stats.MissFill, lhFillBytes)
+	l.l4.Write(t, x.ch, x.bk, x.row, lhFillBytes)
+	if x.victimValid && x.victimDirty {
+		// The victim's data must be recovered before it is lost.
+		l.st.AddBytes(stats.VictimRead, lhDataBytes)
+		l.l4.Read(t, x.ch, x.bk, x.row, lhDataBytes, l.mem.VictimFwd(x.victimLine))
+	}
+	done := x.done
+	l.putTxn(x)
+	done(t, ReadResult{FromL4: false, InL4: true})
+}
+
+// onWBProbe completes the Mostly-Clean writeback's tag probe.
+func (x *lhTxn) onWBProbe(t uint64) {
+	l := x.l
+	l.st.AddBytes(stats.WBProbe, lhTagBytes)
+	if x.hit {
+		l.st.WBHits++
+		l.st.AddBytes(stats.WBUpdate, lhFillBytes)
+		l.l4.Write(t, x.ch, x.bk, x.row, lhFillBytes)
+	} else {
+		l.st.WBMisses++
+		l.mem.WriteLine(t, x.line)
+	}
+	l.putTxn(x)
 }
 
 // Loh-Hill transfer sizes (bytes).
@@ -102,10 +199,7 @@ func (l *LohHill) missMapEvict(line uint64) {
 		set := l.tags.SetIndex(line)
 		ch, bk, row := l.locate(set)
 		l.st.AddBytes(stats.VictimRead, lhDataBytes)
-		wl := line
-		l.l4.Read(l.lastNow, ch, bk, row, lhDataBytes, func(t uint64) {
-			l.mem.WriteLine(t, wl)
-		})
+		l.l4.Read(l.lastNow, ch, bk, row, lhDataBytes, l.mem.VictimFwd(line))
 	}
 }
 
@@ -183,16 +277,9 @@ func (l *LohHill) Read(now uint64, coreID int, line, pc uint64, done func(uint64
 		l.tags.Access(line, false) // LRU promotion
 		// Tag read, then the data line from the now-open row, then the
 		// LRU-state write-back (footnote 3's replacement-update bloat).
-		l.l4.Read(start, ch, bk, row, lhTagBytes, func(t uint64) {
-			l.st.AddBytes(stats.HitProbe, lhTagBytes)
-			l.l4.Read(t, ch, bk, row, lhDataBytes, func(t2 uint64) {
-				l.st.AddBytes(stats.HitProbe, lhDataBytes)
-				l.st.Hit(t2 - now)
-				l.st.AddBytes(stats.ReplUpdate, lhDataBytes)
-				l.l4.Write(t2, ch, bk, row, lhDataBytes)
-				done(t2, ReadResult{FromL4: true, InL4: true})
-			})
-		})
+		x := l.getTxn()
+		x.now, x.ch, x.bk, x.row, x.done = now, ch, bk, row, done
+		l.l4.Read(start, ch, bk, row, lhTagBytes, x.fnHitTag)
 		return
 	}
 
@@ -202,20 +289,10 @@ func (l *LohHill) Read(now uint64, coreID int, line, pc uint64, done func(uint64
 		l.dip.RecordMiss(set)
 	}
 	ev := l.fill(line)
-	l.mem.ReadLine(start, line, func(t uint64) {
-		l.st.Miss(t - now)
-		l.st.Fills++
-		l.st.AddBytes(stats.MissFill, lhFillBytes)
-		l.l4.Write(t, ch, bk, row, lhFillBytes)
-		if ev.Valid && ev.Dirty {
-			// The victim's data must be recovered before it is lost.
-			l.st.AddBytes(stats.VictimRead, lhDataBytes)
-			l.l4.Read(t, ch, bk, row, lhDataBytes, func(t2 uint64) {
-				l.mem.WriteLine(t2, ev.Addr)
-			})
-		}
-		done(t, ReadResult{FromL4: false, InL4: true})
-	})
+	x := l.getTxn()
+	x.now, x.ch, x.bk, x.row, x.done = now, ch, bk, row, done
+	x.victimLine, x.victimValid, x.victimDirty = ev.Addr, ev.Valid, ev.Dirty
+	l.mem.ReadLine(start, line, x.fnMiss)
 }
 
 // Writeback implements Cache.
@@ -244,17 +321,9 @@ func (l *LohHill) Writeback(now uint64, coreID int, line uint64, pres core.Prese
 	if present {
 		l.tags.SetDirty(line)
 	}
-	l.l4.Read(start, ch, bk, row, lhTagBytes, func(t uint64) {
-		l.st.AddBytes(stats.WBProbe, lhTagBytes)
-		if present {
-			l.st.WBHits++
-			l.st.AddBytes(stats.WBUpdate, lhFillBytes)
-			l.l4.Write(t, ch, bk, row, lhFillBytes)
-		} else {
-			l.st.WBMisses++
-			l.mem.WriteLine(t, line)
-		}
-	})
+	x := l.getTxn()
+	x.line, x.ch, x.bk, x.row, x.hit = line, ch, bk, row, present
+	l.l4.Read(start, ch, bk, row, lhTagBytes, x.fnWBProbe)
 }
 
 var _ Cache = (*LohHill)(nil)

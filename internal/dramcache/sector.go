@@ -3,6 +3,7 @@ package dramcache
 import (
 	"bear/internal/core"
 	"bear/internal/dram"
+	"bear/internal/event"
 	"bear/internal/sram"
 	"bear/internal/stats"
 )
@@ -32,6 +33,60 @@ type Sector struct {
 	mem   *MainMemory
 	hooks Hooks
 	st    stats.L4
+
+	txnFree *sectorTxn // recycled per-access transaction pool
+}
+
+// sectorTxn is the pooled per-access state with pre-bound completion methods
+// (see alloyTxn for the rationale).
+type sectorTxn struct {
+	c             *Sector
+	now           uint64
+	ch, bk        int
+	row           uint64
+	done          func(uint64, ReadResult)
+	fnHit, fnFill event.Func
+	next          *sectorTxn
+}
+
+func (c *Sector) getTxn() *sectorTxn {
+	x := c.txnFree
+	if x == nil {
+		x = &sectorTxn{c: c}
+		x.fnHit = x.onHit
+		x.fnFill = x.onFill
+	} else {
+		c.txnFree = x.next
+		x.next = nil
+	}
+	return x
+}
+
+func (c *Sector) putTxn(x *sectorTxn) {
+	x.done = nil
+	x.next = c.txnFree
+	c.txnFree = x
+}
+
+func (x *sectorTxn) onHit(t uint64) {
+	c := x.c
+	c.st.ReadHits++
+	c.st.AddBytes(stats.HitProbe, 64)
+	c.st.HitLatSum += t - x.now
+	done := x.done
+	c.putTxn(x)
+	done(t, ReadResult{FromL4: true, InL4: true})
+}
+
+func (x *sectorTxn) onFill(t uint64) {
+	c := x.c
+	c.st.Miss(t - x.now)
+	c.st.Fills++
+	c.st.AddBytes(stats.MissFill, 64)
+	c.l4.Write(t, x.ch, x.bk, x.row, 64)
+	done := x.done
+	c.putTxn(x)
+	done(t, ReadResult{FromL4: false, InL4: true})
 }
 
 // NewSector builds a sector cache of `lines` total data lines, grouped into
@@ -140,10 +195,7 @@ func (c *Sector) allocSector(now uint64, sector uint64) uint64 {
 				// Recover the dirty line before the frame is reused.
 				c.st.AddBytes(stats.VictimRead, 64)
 				ch, bk, row := c.locateLine(frame, off)
-				wl := victimLine
-				c.l4.Read(now, ch, bk, row, 64, func(t uint64) {
-					c.mem.WriteLine(t, wl)
-				})
+				c.l4.Read(now, ch, bk, row, 64, c.mem.VictimFwd(victimLine))
 			}
 		}
 	}
@@ -163,12 +215,9 @@ func (c *Sector) Read(now uint64, coreID int, line, pc uint64, done func(uint64,
 		c.tags.Access(sector, false)
 		if c.validBits[frame]&bit != 0 {
 			ch, bk, row := c.locateLine(frame, off)
-			c.l4.Read(now, ch, bk, row, 64, func(t uint64) {
-				c.st.ReadHits++
-				c.st.AddBytes(stats.HitProbe, 64)
-				c.st.HitLatSum += t - now
-				done(t, ReadResult{FromL4: true, InL4: true})
-			})
+			x := c.getTxn()
+			x.now, x.done = now, done
+			c.l4.Read(now, ch, bk, row, 64, x.fnHit)
 			return
 		}
 		// Sector present, line absent: fetch and fill just the line.
@@ -185,13 +234,9 @@ func (c *Sector) Read(now uint64, coreID int, line, pc uint64, done func(uint64,
 
 func (c *Sector) fillLine(now uint64, frame, off, line uint64, done func(uint64, ReadResult)) {
 	ch, bk, row := c.locateLine(frame, off)
-	c.mem.ReadLine(now, line, func(t uint64) {
-		c.st.Miss(t - now)
-		c.st.Fills++
-		c.st.AddBytes(stats.MissFill, 64)
-		c.l4.Write(t, ch, bk, row, 64)
-		done(t, ReadResult{FromL4: false, InL4: true})
-	})
+	x := c.getTxn()
+	x.now, x.ch, x.bk, x.row, x.done = now, ch, bk, row, done
+	c.mem.ReadLine(now, line, x.fnFill)
 }
 
 // Writeback implements Cache.

@@ -3,6 +3,7 @@ package dramcache
 import (
 	"bear/internal/core"
 	"bear/internal/dram"
+	"bear/internal/event"
 	"bear/internal/sram"
 	"bear/internal/stats"
 )
@@ -26,6 +27,67 @@ type TIS struct {
 	mem   *MainMemory
 	hooks Hooks
 	st    stats.L4
+
+	txnFree *tisTxn // recycled per-access transaction pool
+}
+
+// tisTxn is the pooled per-access state with pre-bound completion methods
+// (see alloyTxn for the rationale).
+type tisTxn struct {
+	c            *TIS
+	now          uint64
+	ch, bk       int
+	row          uint64
+	victimLine   uint64
+	victimValid  bool
+	victimDirty  bool
+	done         func(uint64, ReadResult)
+	fnHit, fnMiss event.Func
+	next         *tisTxn
+}
+
+func (c *TIS) getTxn() *tisTxn {
+	x := c.txnFree
+	if x == nil {
+		x = &tisTxn{c: c}
+		x.fnHit = x.onHit
+		x.fnMiss = x.onMiss
+	} else {
+		c.txnFree = x.next
+		x.next = nil
+	}
+	x.victimValid, x.victimDirty = false, false
+	return x
+}
+
+func (c *TIS) putTxn(x *tisTxn) {
+	x.done = nil
+	x.next = c.txnFree
+	c.txnFree = x
+}
+
+func (x *tisTxn) onHit(t uint64) {
+	c := x.c
+	c.st.AddBytes(stats.HitProbe, 64)
+	c.st.Hit(t - x.now)
+	done := x.done
+	c.putTxn(x)
+	done(t, ReadResult{FromL4: true, InL4: true})
+}
+
+func (x *tisTxn) onMiss(t uint64) {
+	c := x.c
+	c.st.Miss(t - x.now)
+	c.st.Fills++
+	c.st.AddBytes(stats.MissFill, 64)
+	c.l4.Write(t, x.ch, x.bk, x.row, 64)
+	if x.victimValid && x.victimDirty {
+		c.st.AddBytes(stats.VictimRead, 64)
+		c.l4.Read(t, x.ch, x.bk, x.row, 64, c.mem.VictimFwd(x.victimLine))
+	}
+	done := x.done
+	c.putTxn(x)
+	done(t, ReadResult{FromL4: false, InL4: true})
 }
 
 // NewTIS builds a Tags-In-SRAM cache holding `lines` data lines with the
@@ -84,11 +146,9 @@ func (c *TIS) Read(now uint64, coreID int, line, pc uint64, done func(uint64, Re
 	if way, ok := c.tags.WayOf(line); ok {
 		c.tags.Access(line, false)
 		ch, bk, row := c.locateFrame(set, way)
-		c.l4.Read(now, ch, bk, row, 64, func(t uint64) {
-			c.st.AddBytes(stats.HitProbe, 64)
-			c.st.Hit(t - now)
-			done(t, ReadResult{FromL4: true, InL4: true})
-		})
+		x := c.getTxn()
+		x.now, x.done = now, done
+		c.l4.Read(now, ch, bk, row, 64, x.fnHit)
 		return
 	}
 
@@ -99,19 +159,10 @@ func (c *TIS) Read(now uint64, coreID int, line, pc uint64, done func(uint64, Re
 	if ev.Valid && c.hooks.OnEvict != nil {
 		c.hooks.OnEvict(ev.Addr)
 	}
-	c.mem.ReadLine(now, line, func(t uint64) {
-		c.st.Miss(t - now)
-		c.st.Fills++
-		c.st.AddBytes(stats.MissFill, 64)
-		c.l4.Write(t, ch, bk, row, 64)
-		if ev.Valid && ev.Dirty {
-			c.st.AddBytes(stats.VictimRead, 64)
-			c.l4.Read(t, ch, bk, row, 64, func(t2 uint64) {
-				c.mem.WriteLine(t2, ev.Addr)
-			})
-		}
-		done(t, ReadResult{FromL4: false, InL4: true})
-	})
+	x := c.getTxn()
+	x.now, x.ch, x.bk, x.row, x.done = now, ch, bk, row, done
+	x.victimLine, x.victimValid, x.victimDirty = ev.Addr, ev.Valid, ev.Dirty
+	c.mem.ReadLine(now, line, x.fnMiss)
 }
 
 // Writeback implements Cache.

@@ -33,15 +33,42 @@ type Counters struct {
 	BackInvalidates      uint64
 }
 
+// missEntry tracks one in-flight L3 miss and the requests merged into it.
+// Entries are pooled on the Hierarchy with a pre-bound fill callback, so an
+// L3 miss allocates nothing once the pool is warm (the waiters slice keeps
+// its grown capacity across reuses).
 type missEntry struct {
+	h       *Hierarchy
+	line    uint64
+	core    int // core that issued the first (L4-visible) request
 	waiters []waiter
 	store   bool // at least one merged request was a store
+
+	fill func(uint64, dramcache.ReadResult) // pre-bound e.onFill
+	next *missEntry
 }
 
 type waiter struct {
 	done  event.Func
 	store bool
 	core  int
+}
+
+// onFill is the L4 read-completion callback: it installs the line, services
+// every merged waiter, and recycles the entry.
+func (e *missEntry) onFill(t uint64, res dramcache.ReadResult) {
+	h := e.h
+	delete(h.pending, e.line)
+	h.fillL3(t, e.core, e.line, res)
+	aux := auxFor(res.InL4)
+	for _, w := range e.waiters {
+		h.fillL2(t, w.core, e.line, aux)
+		h.fillL1(w.core, e.line, w.store, aux)
+		if w.done != nil {
+			w.done(t)
+		}
+	}
+	h.putMiss(e)
 }
 
 // Hierarchy is the on-chip cache stack in front of an L4 design.
@@ -54,9 +81,35 @@ type Hierarchy struct {
 	l3 *sram.Cache
 	l4 dramcache.Cache
 
-	pending map[uint64]*missEntry
+	pending  map[uint64]*missEntry
+	missFree *missEntry // recycled missEntry freelist
 
 	Counters Counters
+}
+
+// getMiss returns a pooled miss entry for line, allocating (and binding its
+// fill callback) only when the freelist is empty.
+func (h *Hierarchy) getMiss(line uint64, coreID int, store bool) *missEntry {
+	e := h.missFree
+	if e == nil {
+		e = &missEntry{h: h}
+		e.fill = e.onFill
+	} else {
+		h.missFree = e.next
+		e.next = nil
+	}
+	e.line, e.core, e.store = line, coreID, store
+	return e
+}
+
+// putMiss recycles a miss entry, keeping the waiters slice's capacity.
+func (h *Hierarchy) putMiss(e *missEntry) {
+	for i := range e.waiters {
+		e.waiters[i] = waiter{}
+	}
+	e.waiters = e.waiters[:0]
+	e.next = h.missFree
+	h.missFree = e
 }
 
 // New builds the hierarchy for cfg with cores private cache pairs. The L4
@@ -184,23 +237,12 @@ func (h *Hierarchy) miss(now uint64, coreID int, line, pc uint64, store bool, do
 		return
 	}
 	h.Counters.L3Misses++
-	e := &missEntry{store: store}
+	e := h.getMiss(line, coreID, store)
 	e.waiters = append(e.waiters, waiter{done: done, store: store, core: coreID})
 	h.pending[line] = e
 
 	issue := now + h.cfg.L3.Latency // tag lookup discovered the miss
-	h.l4.Read(issue, coreID, line, pc, func(t uint64, res dramcache.ReadResult) {
-		delete(h.pending, line)
-		h.fillL3(t, coreID, line, res)
-		aux := auxFor(res.InL4)
-		for _, w := range e.waiters {
-			h.fillL2(t, w.core, line, aux)
-			h.fillL1(w.core, line, w.store, aux)
-			if w.done != nil {
-				w.done(t)
-			}
-		}
-	})
+	h.l4.Read(issue, coreID, line, pc, e.fill)
 }
 
 // fillL3 installs a line arriving from the L4/memory, recording the DCP

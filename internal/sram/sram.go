@@ -70,24 +70,29 @@ func (c *Cache) touch(i uint64) {
 	c.lru[i] = c.clock
 }
 
+// sortWays insertion-sorts the ways of the set at base by stamp (ways is
+// small) and returns them in ascending recency order.
+func (c *Cache) sortWays(base uint64) (order [64]int) {
+	n := c.ways
+	for w := 0; w < n; w++ {
+		order[w] = w
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && c.lru[base+uint64(order[j])] < c.lru[base+uint64(order[j-1])]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
 // rescale compacts recency stamps when the clock is about to overflow,
 // renumbering each set's ways by their relative order so LRU decisions are
 // unchanged.
 func (c *Cache) rescale() {
 	for s := uint64(0); s < c.sets; s++ {
 		base := s * uint64(c.ways)
-		// Insertion-sort the ways of this set by stamp (ways is small).
-		var order [64]int
-		n := c.ways
-		for w := 0; w < n; w++ {
-			order[w] = w
-		}
-		for i := 1; i < n; i++ {
-			for j := i; j > 0 && c.lru[base+uint64(order[j])] < c.lru[base+uint64(order[j-1])]; j-- {
-				order[j], order[j-1] = order[j-1], order[j]
-			}
-		}
-		for rank := 0; rank < n; rank++ {
+		order := c.sortWays(base)
+		for rank := 0; rank < c.ways; rank++ {
 			c.lru[base+uint64(order[rank])] = uint32(rank)
 		}
 	}
@@ -143,9 +148,29 @@ func (c *Cache) FillLRU(addr uint64, dirty bool, aux uint8) Eviction {
 			minStamp = c.lru[i]
 		}
 	}
-	if minStamp == ^uint32(0) || minStamp == 0 {
+	switch {
+	case minStamp == ^uint32(0):
+		// No other valid line in the set.
 		c.lru[idx] = 0
-	} else {
+	case minStamp == 0:
+		// Stamp space below the current minimum is exhausted (a previous
+		// LRU-insert already sits at 0). Renumber the set to open a slot:
+		// every other way keeps its relative order at ranks 1..n-1 and the
+		// inserted line takes 0, preserving strict LRU ordering. Clamping to
+		// 0 instead would tie the two lines and let the victim scan resolve
+		// by way index, evicting the older insert first.
+		order := c.sortWays(base)
+		rank := uint32(1)
+		for w := 0; w < c.ways; w++ {
+			i := base + uint64(order[w])
+			if i == idx {
+				continue
+			}
+			c.lru[i] = rank
+			rank++
+		}
+		c.lru[idx] = 0
+	default:
 		c.lru[idx] = minStamp - 1
 	}
 	return ev

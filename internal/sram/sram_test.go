@@ -293,3 +293,29 @@ func TestFillLRUIntoEmptySet(t *testing.T) {
 		t.Fatalf("FillLRU into empty set lost metadata: %+v %v", ln, ok)
 	}
 }
+
+func TestFillLRUStampCollision(t *testing.T) {
+	// Two successive LRU-inserts without intervening promotions drive the
+	// set's minimum stamp to 0; the second insert must still land strictly
+	// below the first (clamping both to 0 would tie them and evict the
+	// older insert by way-index accident).
+	c := New(1, 4)
+	c.Fill(1, false, 0)
+	c.Fill(2, false, 0)
+	c.FillLRU(3, false, 0) // stamp 0
+	c.FillLRU(4, false, 0) // min other stamp is already 0: renumber
+	if ev := c.Victim(4); ev.Addr != 4 {
+		t.Fatalf("next victim is %d, want the most recent LRU-insert 4", ev.Addr)
+	}
+	ev := c.Fill(5, false, 0)
+	if ev.Addr != 4 {
+		t.Fatalf("evicted %d, want 4", ev.Addr)
+	}
+	// Strict ordering must survive the renumbering for the rest of the set:
+	// 3 (older LRU-insert) goes next, then 1 and 2 in fill order.
+	for _, want := range []uint64{3, 1, 2} {
+		if ev := c.Fill(want+100, false, 0); ev.Addr != want {
+			t.Fatalf("evicted %d, want %d", ev.Addr, want)
+		}
+	}
+}

@@ -12,3 +12,8 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# bench-smoke: compile and run every benchmark exactly once. This keeps the
+# perf harness (simbench_test.go and friends) from bit-rotting without
+# adding meaningful CI time; timed runs go through scripts/bench.sh.
+go test -run='^$' -bench=. -benchtime=1x ./...
