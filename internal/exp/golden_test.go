@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden outputs under testdata/")
+
+// goldenIDs are the experiments pinned byte-for-byte. They cover every L4
+// design flow the refactors touch: fig12 (Alloy/BEAR/BW-Opt speedups over
+// rate + mix workloads), fig13 (the six-way bloat breakdown for five
+// schemes), and tab4 (hit-rate and latency aggregates).
+var goldenIDs = []string{"fig12", "fig13", "tab4"}
+
+// TestGoldenOutputs diffs experiment output byte-for-byte against the
+// committed goldens. Any change to simulation behaviour — even a reordering
+// of two same-cycle DRAM commands — shows up here. Regenerate deliberately
+// with:
+//
+//	go test ./internal/exp -run TestGoldenOutputs -update
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs take ~a minute; skipped with -short")
+	}
+	p := Quick()
+	r := NewRunner(p)
+	for _, id := range goldenIDs {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatalf("ByID(%q): %v", id, err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(p, &buf, r); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		path := filepath.Join("testdata", id+".golden")
+		if *updateGolden {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatalf("write %s: %v", path, err)
+			}
+			t.Logf("wrote %s (%d bytes)", path, buf.Len())
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s (regenerate with -update): %v", path, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: output differs from %s\n%s", id, path, firstDiff(want, buf.Bytes()))
+		}
+	}
+}
+
+// firstDiff renders the first differing line of got vs want for a readable
+// failure message.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first difference at line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(wl), len(gl))
+}
