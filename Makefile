@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-snapshot ci
+.PHONY: all build test race vet bench bench-smoke bench-snapshot bench-compare ci
 
 all: build
 
@@ -33,5 +33,11 @@ bench-smoke:
 # (see README "Performance").
 bench-snapshot:
 	scripts/bench.sh
+
+# bench-compare diffs the two newest BENCH_<n>.json snapshots (ns/instr and
+# allocs/instr per benchmark); it exits non-zero on a >5% ns/instr
+# regression.
+bench-compare:
+	scripts/bench_compare.sh
 
 ci: vet build race bench-smoke

@@ -26,13 +26,13 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		run     = flag.String("run", "", "experiment id to run, or 'all'")
-		quick   = flag.Bool("quick", false, "use small quick-check parameters")
-		scale   = flag.Int("scale", 0, "override capacity divisor")
-		warm    = flag.Uint64("warm", 0, "override warm-up instructions per core")
-		meas    = flag.Uint64("meas", 0, "override measured instructions per core")
-		mixes   = flag.Int("mixes", 0, "override number of MIX workloads")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		quick    = flag.Bool("quick", false, "use small quick-check parameters")
+		scale    = flag.Int("scale", 0, "override capacity divisor")
+		warm     = flag.Uint64("warm", 0, "override warm-up instructions per core")
+		meas     = flag.Uint64("meas", 0, "override measured instructions per core")
+		mixes    = flag.Int("mixes", 0, "override number of MIX workloads")
 		seed     = flag.Uint64("seed", 0, "override simulation seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial; output is identical either way)")
 		verbose  = flag.Bool("v", false, "log every simulation as it completes")

@@ -63,6 +63,11 @@ const (
 	// DeadBlockBypass is a sampling-dead-block-predictor bypass (the prior
 	// work of Section 9.2), provided for the abl-deadblock comparison.
 	DeadBlockBypass
+	// UpdateBypass is the dead-block bypass with Young & Qureshi-style
+	// sampled update-bypass of replacement/secondary state: only sampled
+	// sets pay the in-DRAM status-bit write and train the predictor
+	// (the abl-upd comparison).
+	UpdateBypass
 )
 
 func (b BypassPolicy) String() string {
@@ -73,6 +78,8 @@ func (b BypassPolicy) String() string {
 		return "BAB"
 	case DeadBlockBypass:
 		return "DBP"
+	case UpdateBypass:
+		return "UpdBypass"
 	default:
 		return "Fill"
 	}

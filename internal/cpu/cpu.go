@@ -189,6 +189,7 @@ type Core struct {
 
 	Finished bool
 	FinishAt uint64
+	halted   bool
 
 	onWarm   func(core int)
 	onFinish func(core int, now uint64)
@@ -260,6 +261,14 @@ func (c *Core) Start() {
 	c.q.At(c.q.Now(), c.runFn)
 }
 
+// Halt stops the core from issuing further instructions: subsequent run
+// invocations only release completed loads. A halted core schedules no new
+// wakeups, so once its in-flight loads complete it contributes no more
+// events. Tests halt every core after measurement to drain the event queue
+// to empty (which would otherwise never happen — finished cores keep
+// executing to sustain load on the shared memory system).
+func (c *Core) Halt() { c.halted = true }
+
 // run advances the core until it must wait for a load or yields its
 // quantum. It is the single state machine for the core and is re-invoked by
 // timer wakeups and load-completion callbacks.
@@ -280,6 +289,9 @@ func (c *Core) run(now uint64) {
 	}
 	for {
 		c.popCompleted()
+		if c.halted {
+			return
+		}
 
 		total := c.warmBudget + c.measBudget
 		if !c.Finished && c.retired >= total {
@@ -359,7 +371,6 @@ func (c *Core) popCompleted() {
 		c.outstanding.PopFront()
 	}
 }
-
 
 // waitForLoads schedules the core's resumption: if any blocking entry has a
 // known completion time it wakes then; async completions re-invoke run via

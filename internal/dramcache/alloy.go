@@ -1,13 +1,9 @@
 package dramcache
 
 import (
-	"fmt"
-
 	"bear/internal/config"
 	"bear/internal/core"
 	"bear/internal/dram"
-	"bear/internal/event"
-	"bear/internal/stats"
 )
 
 // AlloyOpts selects the policy configuration of the Alloy-family cache.
@@ -35,6 +31,10 @@ type AlloyOpts struct {
 	// DBP, when non-nil, replaces BAB with a dead-block-predictor bypass
 	// (Section 9.2's prior-work class; see core.DeadBlock).
 	DBP *core.DeadBlock
+	// UpdateBypass selects the sampled update-bypass variant of the
+	// dead-block policy (Young & Qureshi-style; requires DBP). See
+	// updbypass.go.
+	UpdateBypass bool
 	// TTC, when non-nil, is a temporal tag cache: it records the demand
 	// set's tag on every access (Section 9.4's prior-work class),
 	// complementing the NTC's spatial-only policy.
@@ -42,12 +42,17 @@ type AlloyOpts struct {
 }
 
 // Alloy is the direct-mapped Tag-And-Data DRAM cache (Qureshi & Loh,
-// MICRO 2012) with the BEAR-paper policy knobs. Each set is one 72 B TAD;
-// 28 consecutive sets share a 2 KB row, and each 80 B access also carries
-// the next set's tag (consumed by the NTC).
-type Alloy struct {
-	name string
-	opts AlloyOpts
+// MICRO 2012) with the BEAR-paper policy knobs, expressed as a Controller
+// over tadTags. Each set is one 72 B TAD; 28 consecutive sets share a 2 KB
+// row, and each 80 B access also carries the next set's tag (consumed by
+// the NTC).
+type Alloy = Controller
+
+// tadTags is the direct-mapped Tag-And-Data store: one line per set, tags
+// resident in the DRAM array itself (so probes are bus transfers, charged
+// by the Controller's Layout).
+type tadTags struct {
+	c *Controller
 
 	sets       uint64
 	setsPerRow uint64
@@ -58,203 +63,265 @@ type Alloy struct {
 	valid []uint64 // bitset
 	dirty []uint64 // bitset
 
-	// Dead-block state (allocated when opts.DBP is set): the signature of
-	// the fill that installed each line and whether it has been reused.
-	sig    []uint16
-	reused []uint64 // bitset
-
-	l4    *dram.Memory
-	mem   *MainMemory
-	hooks Hooks
-	st    stats.L4
-
-	txnFree *alloyTxn // recycled per-access transaction pool
+	inclusive bool
 }
 
-// alloyTxn carries one in-flight access's timing state. Transactions are
-// pooled per cache with every completion callback pre-bound as a method
-// value, so an L4 hit or miss allocates zero bytes in steady state — the
-// per-access closures this replaces were the simulator's dominant GC load.
-type alloyTxn struct {
-	a      *Alloy
-	now    uint64
-	line   uint64
-	ch, bk int
-	row    uint64
-	done   func(uint64, ReadResult)
-
-	statusUpdate bool // hit path: in-DRAM reuse bit must be written back
-	filled       bool // miss path: line was installed (fill on data arrival)
-	hit          bool // writeback path: probe found the line
-	victimLine   uint64
-	victimValid  bool
-	victimDirty  bool
-	pendingBoth  int // parallel path: completions still outstanding
-
-	fnHit, fnMissMem, fnBothProbe, fnBothMem    event.Func
-	fnSerialProbe, fnSerialMem                  event.Func
-	fnIdealHit, fnIdealMiss, fnWBProbe          event.Func
-	next                                        *alloyTxn
-}
-
-func (a *Alloy) getTxn() *alloyTxn {
-	x := a.txnFree
-	if x == nil {
-		x = &alloyTxn{a: a}
-		x.fnHit = x.onHit
-		x.fnMissMem = x.onMissMem
-		x.fnBothProbe = x.onBothProbe
-		x.fnBothMem = x.onBothMem
-		x.fnSerialProbe = x.onSerialProbe
-		x.fnSerialMem = x.onSerialMem
-		x.fnIdealHit = x.onIdealHit
-		x.fnIdealMiss = x.onIdealMiss
-		x.fnWBProbe = x.onWBProbe
+func (t *tadTags) isValid(set uint64) bool { return t.valid[set/64]&(1<<(set%64)) != 0 }
+func (t *tadTags) isDirty(set uint64) bool { return t.dirty[set/64]&(1<<(set%64)) != 0 }
+func (t *tadTags) setValid(set uint64, v bool) {
+	if v {
+		t.valid[set/64] |= 1 << (set % 64)
 	} else {
-		a.txnFree = x.next
-		x.next = nil
+		t.valid[set/64] &^= 1 << (set % 64)
 	}
-	x.statusUpdate, x.filled, x.hit = false, false, false
-	x.victimValid, x.victimDirty = false, false
-	x.pendingBoth = 0
-	return x
 }
-
-func (a *Alloy) putTxn(x *alloyTxn) {
-	x.done = nil
-	x.next = a.txnFree
-	a.txnFree = x
-}
-
-// onHit completes a hit's probe: the probe is the useful data transfer.
-func (x *alloyTxn) onHit(t uint64) {
-	a := x.a
-	a.st.AddBytes(stats.HitProbe, 80)
-	a.st.Hit(t - x.now)
-	if x.statusUpdate {
-		a.st.AddBytes(stats.ReplUpdate, 80)
-		a.l4.Write(t, x.ch, x.bk, x.row, 80)
-	}
-	done := x.done
-	a.putTxn(x)
-	done(t, ReadResult{FromL4: true, InL4: true})
-}
-
-// fillAt charges the Miss Fill write (and the dirty victim's eviction to
-// memory) when the data arrives from main memory.
-func (x *alloyTxn) fillAt(t uint64) {
-	if !x.filled {
-		return
-	}
-	a := x.a
-	a.st.Fills++
-	a.st.AddBytes(stats.MissFill, 80)
-	a.l4.Write(t, x.ch, x.bk, x.row, 80)
-	if x.victimValid && x.victimDirty {
-		a.mem.WriteLine(t, x.victimLine)
+func (t *tadTags) setDirty(set uint64, v bool) {
+	if v {
+		t.dirty[set/64] |= 1 << (set % 64)
+	} else {
+		t.dirty[set/64] &^= 1 << (set % 64)
 	}
 }
 
-// finish retires a miss and recycles the transaction.
-func (x *alloyTxn) finish(t uint64) {
-	a := x.a
-	a.st.Miss(t - x.now)
-	done, filled := x.done, x.filled
-	a.putTxn(x)
-	done(t, ReadResult{FromL4: false, InL4: filled})
+// locate maps a set to its DRAM coordinates. Consecutive sets share a row;
+// consecutive rows rotate across channels, then banks.
+func (t *tadTags) locate(set uint64) (Location, int) {
+	rowUnit := set / t.setsPerRow
+	ch := int(rowUnit % t.channels)
+	rest := rowUnit / t.channels
+	bk := int(rest % t.banks)
+	row := rest / t.banks
+	return Location{Ch: ch, Bk: bk, Row: row}, ch*int(t.banks) + bk
 }
 
-// onMissMem completes the probe-skipped miss (memory only).
-func (x *alloyTxn) onMissMem(t uint64) {
-	x.fillAt(t)
-	x.finish(t)
+// Lookup implements TagStore.
+func (t *tadTags) Lookup(_ uint64, line uint64) Probe {
+	set := line % t.sets
+	loc, _ := t.locate(set)
+	return Probe{Hit: t.isValid(set) && t.tag[set] == line, Loc: loc, Set: set}
 }
 
-// both gates the parallel path: probe and memory proceed concurrently; data
-// is usable when both the miss is confirmed and the line has arrived. Events
-// fire in time order, so the second completion carries max(Tp, Tm).
-func (x *alloyTxn) both(t uint64) {
-	x.pendingBoth--
-	if x.pendingBoth == 0 {
-		x.finish(t)
-	}
-}
+// Touch implements TagStore (direct-mapped: no replacement state).
+func (t *tadTags) Touch(uint64) {}
 
-func (x *alloyTxn) onBothProbe(t uint64) {
-	x.a.st.AddBytes(stats.MissProbe, 80)
-	x.both(t)
-}
-
-func (x *alloyTxn) onBothMem(t uint64) {
-	x.fillAt(t)
-	x.both(t)
-}
-
-// onSerialProbe is the predicted-hit miss: memory starts only after the
-// probe detects the miss (the serialisation penalty MAP-I exists to avoid).
-func (x *alloyTxn) onSerialProbe(t uint64) {
-	x.a.st.AddBytes(stats.MissProbe, 80)
-	x.a.mem.ReadLine(t, x.line, x.fnSerialMem)
-}
-
-func (x *alloyTxn) onSerialMem(t uint64) {
-	x.fillAt(t)
-	x.finish(t)
-}
-
-// onIdealHit/onIdealMiss are the BW-Optimized completions (64 B hits, all
-// secondary operations logical).
-func (x *alloyTxn) onIdealHit(t uint64) {
-	a := x.a
-	a.st.AddBytes(stats.HitProbe, 64)
-	a.st.Hit(t - x.now)
-	done := x.done
-	a.putTxn(x)
-	done(t, ReadResult{FromL4: true, InL4: true})
-}
-
-func (x *alloyTxn) onIdealMiss(t uint64) {
-	a := x.a
-	a.st.Miss(t - x.now)
-	done := x.done
-	a.putTxn(x)
-	done(t, ReadResult{FromL4: false, InL4: true})
-}
-
-// onWBProbe resolves a writeback whose presence was unknown: the probe has
-// completed and the update, fill or memory forward follows.
-func (x *alloyTxn) onWBProbe(t uint64) {
-	a := x.a
-	a.st.AddBytes(stats.WBProbe, 80)
-	switch {
-	case x.hit:
-		a.st.WBHits++
-		a.st.AddBytes(stats.WBUpdate, 80)
-		a.l4.Write(t, x.ch, x.bk, x.row, 80)
-	case a.opts.WBAllocate:
-		a.st.WBMisses++
-		a.st.AddBytes(stats.WBFill, 80)
-		a.l4.Write(t, x.ch, x.bk, x.row, 80)
-		if x.victimValid && x.victimDirty {
-			a.mem.WriteLine(t, x.victimLine)
+// Fill implements TagStore: evict (back-invalidating under inclusion),
+// install clean.
+func (t *tadTags) Fill(_ uint64, line, _ uint64) FillResult {
+	set := line % t.sets
+	loc, _ := t.locate(set)
+	fr := FillResult{Loc: loc}
+	if t.isValid(set) {
+		fr.VictimLine = t.tag[set]
+		fr.VictimValid = true
+		fr.VictimDirty = t.isDirty(set)
+		if t.inclusive {
+			if h := t.c.hooks.OnBackInvalidate; h != nil && h(fr.VictimLine) {
+				fr.VictimDirty = true // on-chip copy was dirty; forward it
+			}
+		} else if h := t.c.hooks.OnEvict; h != nil {
+			h(fr.VictimLine)
 		}
-	default:
-		a.st.WBMisses++
-		a.mem.WriteLine(t, x.line)
 	}
-	a.putTxn(x)
+	t.tag[set] = line
+	t.setValid(set, true)
+	t.setDirty(set, false)
+	return fr
 }
 
-// NewAlloy builds an Alloy-family cache with the given set count over the
+// WritebackHit implements TagStore.
+func (t *tadTags) WritebackHit(line uint64) { t.setDirty(line%t.sets, true) }
+
+// WritebackFill implements TagStore: evict, install dirty.
+func (t *tadTags) WritebackFill(_ uint64, line uint64) FillResult {
+	set := line % t.sets
+	loc, _ := t.locate(set)
+	fr := FillResult{Loc: loc}
+	if t.isValid(set) {
+		fr.VictimLine = t.tag[set]
+		fr.VictimValid = true
+		fr.VictimDirty = t.isDirty(set)
+		if h := t.c.hooks.OnEvict; h != nil {
+			h(fr.VictimLine)
+		}
+	}
+	t.tag[set] = line
+	t.setValid(set, true)
+	t.setDirty(set, true)
+	return fr
+}
+
+// Contains implements TagStore.
+func (t *tadTags) Contains(line uint64) bool {
+	set := line % t.sets
+	return t.isValid(set) && t.tag[set] == line
+}
+
+// Install implements TagStore.
+func (t *tadTags) Install(line uint64) {
+	set := line % t.sets
+	t.tag[set] = line
+	t.setValid(set, true)
+	t.setDirty(set, false)
+}
+
+// ntcFilter is the NTC/TTC ProbeFilter over a TAD store. Every 80 B burst
+// carries the next set's tag for free (a TAD is 72 B but the bus moves 16 B
+// granules), which the NTC banks; the TTC additionally records the demand
+// set's own tag.
+type ntcFilter struct {
+	t        *tadTags
+	ntc, ttc *core.NTC
+}
+
+// Consult implements ProbeFilter: the first cache with a known answer wins.
+// A known-absent answer skips the miss probe unless the resident line is
+// dirty (the probe is then still needed to recover the victim's data).
+func (f *ntcFilter) Consult(set, line uint64) (known, present, skipProbe bool) {
+	_, gb := f.t.locate(set)
+	for _, tc := range [2]*core.NTC{f.ntc, f.ttc} {
+		if tc == nil || known {
+			continue
+		}
+		ans := tc.Lookup(gb, set, line)
+		if ans.Known {
+			known, present = true, ans.Present
+			if !ans.Present && (!ans.HasLine || !ans.LineDirty) {
+				skipProbe = true
+			}
+		}
+	}
+	return known, present, skipProbe
+}
+
+// OnProbe implements ProbeFilter: deposit the neighbour tag the burst
+// carried (NTC) and the demand set's own tag (TTC). The last TAD of a row
+// has no neighbour in the burst.
+func (f *ntcFilter) OnProbe(set uint64) {
+	_, gb := f.t.locate(set)
+	if f.ntc != nil && set%f.t.setsPerRow != f.t.setsPerRow-1 {
+		if n := set + 1; n < f.t.sets {
+			f.ntc.Deposit(gb, n, f.t.isValid(n), f.t.tag[n], f.t.isDirty(n))
+		}
+	}
+	if f.ttc != nil {
+		f.ttc.Deposit(gb, set, f.t.isValid(set), f.t.tag[set], f.t.isDirty(set))
+	}
+}
+
+// Sync implements ProbeFilter: keep entries coherent with a functional
+// update to the set.
+func (f *ntcFilter) Sync(set uint64) {
+	_, gb := f.t.locate(set)
+	if f.ntc != nil {
+		f.ntc.Sync(gb, set, f.t.isValid(set), f.t.tag[set], f.t.isDirty(set))
+	}
+	if f.ttc != nil {
+		f.ttc.Sync(gb, set, f.t.isValid(set), f.t.tag[set], f.t.isDirty(set))
+	}
+}
+
+// babFill adapts the Bandwidth-Aware Bypass monitor (or naive PB) as a
+// FillPolicy.
+type babFill struct{ b *core.BAB }
+
+func (f babFill) RecordAccess(set uint64, miss bool) { f.b.RecordAccess(set, miss) }
+func (f babFill) ShouldBypass(set, _ uint64) bool    { return f.b.ShouldBypass(set) }
+func (f babFill) OnHit(uint64) bool                  { return false }
+func (f babFill) OnFill(uint64, uint64, bool)        {}
+
+// dbpFill is the sampling dead-block-predictor bypass (Section 9.2's
+// prior-work class): fills whose PC signature predicts a dead block are
+// bypassed, and each line's first reuse writes an in-DRAM status bit back —
+// the extra access the paper charges against dead-block schemes.
+type dbpFill struct {
+	d      *core.DeadBlock
+	sig    []uint16 // signature of the fill that installed each set's line
+	reused []uint64 // bitset: the line has been reused since its fill
+}
+
+func newDBPFill(d *core.DeadBlock, sets uint64) *dbpFill {
+	return &dbpFill{d: d, sig: make([]uint16, sets), reused: make([]uint64, (sets+63)/64)}
+}
+
+func (f *dbpFill) isReused(set uint64) bool { return f.reused[set/64]&(1<<(set%64)) != 0 }
+func (f *dbpFill) setReused(set uint64, v bool) {
+	if v {
+		f.reused[set/64] |= 1 << (set % 64)
+	} else {
+		f.reused[set/64] &^= 1 << (set % 64)
+	}
+}
+
+func (f *dbpFill) RecordAccess(uint64, bool) {}
+
+func (f *dbpFill) ShouldBypass(_, pc uint64) bool {
+	return f.d.PredictDead(f.d.Signature(pc))
+}
+
+// OnHit marks the first reuse, which must update the in-DRAM reuse bit.
+func (f *dbpFill) OnHit(set uint64) bool {
+	if f.isReused(set) {
+		return false
+	}
+	f.setReused(set, true)
+	return true
+}
+
+// OnFill trains the predictor with the victim's outcome and re-tags the set
+// with the installing PC's signature.
+func (f *dbpFill) OnFill(set, pc uint64, hadVictim bool) {
+	if hadVictim {
+		f.d.Train(f.sig[set], f.isReused(set))
+	}
+	f.sig[set] = f.d.Signature(pc)
+	f.setReused(set, false)
+}
+
+// alloyWB is the Alloy-family WritebackPolicy: inclusion or a set DCP bit
+// guarantees presence (update directly); a clear DCP bit under no-allocate
+// guarantees absence (forward directly); everything else probes.
+type alloyWB struct{ inclusive, allocate bool }
+
+func (w alloyWB) NeedsProbe(hit bool, pres core.Presence) (probe, presKnown bool) {
+	if (w.inclusive || pres == core.PresPresent) && hit {
+		return false, pres == core.PresPresent
+	}
+	// Under writeback-allocate a probe is still required before the fill,
+	// to recover a possibly-dirty victim (Section 5.2).
+	if pres == core.PresAbsent && !hit && !w.allocate {
+		return false, true
+	}
+	return true, false
+}
+
+func (w alloyWB) Allocate() bool { return w.allocate }
+
+// Alloy-family transfer sizes (bytes): every operation on the TAD array
+// moves one 80 B burst (tag + data), except the idealised BW-Opt cache.
+var alloyLayout = Layout{
+	HitBytes:       80,
+	UpdateBytes:    80,
+	MissProbeBytes: 80,
+	FillBytes:      80,
+	WBUpdateBytes:  80,
+	WBProbeBytes:   80,
+}
+
+// bwOptLayout is the Bandwidth-Optimized ideal: hits move exactly 64 B and
+// all secondary operations are logical (zero-byte fills settle victims at
+// issue; writebacks update state for free).
+var bwOptLayout = Layout{HitBytes: 64}
+
+// NewAlloy composes an Alloy-family cache with the given set count over the
 // stacked-DRAM l4 and main memory mem.
 func NewAlloy(name string, sets uint64, l4 *dram.Memory, mem *MainMemory, hooks Hooks, opts AlloyOpts) *Alloy {
 	if sets == 0 {
 		panic("dramcache: alloy with zero sets")
 	}
 	cfg := l4.Config()
-	a := &Alloy{
-		name:       name,
-		opts:       opts,
+	c := &Controller{name: name, l4: l4, mem: mem, hooks: hooks}
+	t := &tadTags{
+		c:          c,
 		sets:       sets,
 		setsPerRow: 28,
 		channels:   uint64(cfg.Channels),
@@ -262,352 +329,47 @@ func NewAlloy(name string, sets uint64, l4 *dram.Memory, mem *MainMemory, hooks 
 		tag:        make([]uint64, sets),
 		valid:      make([]uint64, (sets+63)/64),
 		dirty:      make([]uint64, (sets+63)/64),
-		l4:         l4,
-		mem:        mem,
-		hooks:      hooks,
+		inclusive:  opts.Inclusive,
 	}
-	if opts.DBP != nil {
-		a.sig = make([]uint16, sets)
-		a.reused = make([]uint64, (sets+63)/64)
-	}
-	return a
-}
+	c.tags = t
 
-// Name implements Cache.
-func (a *Alloy) Name() string { return a.name }
-
-// Stats implements Cache.
-func (a *Alloy) Stats() *stats.L4 { return &a.st }
-
-// Sets returns the set count (tests).
-func (a *Alloy) Sets() uint64 { return a.sets }
-
-func (a *Alloy) isValid(set uint64) bool { return a.valid[set/64]&(1<<(set%64)) != 0 }
-func (a *Alloy) isDirty(set uint64) bool { return a.dirty[set/64]&(1<<(set%64)) != 0 }
-func (a *Alloy) setValid(set uint64, v bool) {
-	if v {
-		a.valid[set/64] |= 1 << (set % 64)
-	} else {
-		a.valid[set/64] &^= 1 << (set % 64)
-	}
-}
-func (a *Alloy) setDirty(set uint64, v bool) {
-	if v {
-		a.dirty[set/64] |= 1 << (set % 64)
-	} else {
-		a.dirty[set/64] &^= 1 << (set % 64)
-	}
-}
-
-// locate maps a set to its DRAM coordinates. Consecutive sets share a row;
-// consecutive rows rotate across channels, then banks.
-func (a *Alloy) locate(set uint64) (ch, bk int, row uint64, globalBank int) {
-	rowUnit := set / a.setsPerRow
-	ch = int(rowUnit % a.channels)
-	rest := rowUnit / a.channels
-	bk = int(rest % a.banks)
-	row = rest / a.banks
-	return ch, bk, row, ch*int(a.banks) + bk
-}
-
-// Contains implements Cache.
-func (a *Alloy) Contains(line uint64) bool {
-	set := line % a.sets
-	return a.isValid(set) && a.tag[set] == line
-}
-
-// Install implements Cache: a free functional fill used for pre-warming.
-func (a *Alloy) Install(line uint64) {
-	set := line % a.sets
-	a.tag[set] = line
-	a.setValid(set, true)
-	a.setDirty(set, false)
-}
-
-// depositNeighbor records the next set's tag in the NTC, mirroring the
-// extra 8 B every 80 B burst carries. The last TAD of a row has no
-// neighbour in the burst.
-func (a *Alloy) depositNeighbor(globalBank int, set uint64) {
-	if a.opts.NTC == nil {
-		return
-	}
-	if set%a.setsPerRow == a.setsPerRow-1 {
-		return
-	}
-	n := set + 1
-	if n >= a.sets {
-		return
-	}
-	a.opts.NTC.Deposit(globalBank, n, a.isValid(n), a.tag[n], a.isDirty(n))
-}
-
-func (a *Alloy) syncNTC(globalBank int, set uint64) {
-	if a.opts.NTC != nil {
-		a.opts.NTC.Sync(globalBank, set, a.isValid(set), a.tag[set], a.isDirty(set))
-	}
-	if a.opts.TTC != nil {
-		a.opts.TTC.Sync(globalBank, set, a.isValid(set), a.tag[set], a.isDirty(set))
-	}
-}
-
-// depositDemand records the accessed set's own tag in the temporal tag
-// cache (every probe reads it anyway).
-func (a *Alloy) depositDemand(globalBank int, set uint64) {
-	if a.opts.TTC == nil {
-		return
-	}
-	a.opts.TTC.Deposit(globalBank, set, a.isValid(set), a.tag[set], a.isDirty(set))
-}
-
-func (a *Alloy) isReused(set uint64) bool { return a.reused[set/64]&(1<<(set%64)) != 0 }
-func (a *Alloy) setReused(set uint64, v bool) {
-	if v {
-		a.reused[set/64] |= 1 << (set % 64)
-	} else {
-		a.reused[set/64] &^= 1 << (set % 64)
-	}
-}
-
-// Read implements Cache. See the package comment for the functional-at-
-// issue convention: tag state and policy decisions are resolved here, and
-// timed DRAM transactions deliver bandwidth/latency effects.
-func (a *Alloy) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
-	set := line % a.sets
-	hit := a.isValid(set) && a.tag[set] == line
-	ch, bk, row, gb := a.locate(set)
-
-	if a.opts.Ideal {
-		a.readIdeal(now, set, line, hit, ch, bk, row, done)
-		return
+	if opts.Ideal {
+		// BW-Opt idealises only the L4 bus: no predictor, filter or
+		// bypass policy participates.
+		c.lay = bwOptLayout
+		c.wb = directWB{}
+		return c
 	}
 
-	if a.opts.BAB != nil {
-		a.opts.BAB.RecordAccess(set, !hit)
-	}
-
-	// NTC consultation: a known answer either guarantees a hit (so a
-	// mispredicted parallel memory access can be squashed) or guarantees a
-	// miss (so the probe can be skipped when the resident line is clean).
-	var ntcKnown, ntcPresent, skipProbe bool
-	for _, tc := range []*core.NTC{a.opts.NTC, a.opts.TTC} {
-		if tc == nil || ntcKnown {
-			continue
-		}
-		ans := tc.Lookup(gb, set, line)
-		if ans.Known {
-			ntcKnown, ntcPresent = true, ans.Present
-			if !ans.Present && (!ans.HasLine || !ans.LineDirty) {
-				skipProbe = true
-			}
-		}
-	}
-
-	predHit := true
-	switch {
-	case a.opts.Pred == config.PredPerfect:
-		predHit = hit
-	case a.opts.Pred == config.PredAlwaysHit:
-		predHit = true
-	case a.opts.Predictor != nil:
-		predHit = a.opts.Predictor.Predict(coreID, pc)
-		a.opts.Predictor.Update(coreID, pc, hit)
-	}
-
-	if hit {
-		// The probe is the useful data transfer.
-		a.depositNeighbor(gb, set)
-		a.depositDemand(gb, set)
-		x := a.getTxn()
-		x.now, x.ch, x.bk, x.row, x.done = now, ch, bk, row, done
-		if a.opts.DBP != nil && !a.isReused(set) {
-			// First reuse: the in-DRAM reuse bit must be updated — the
-			// extra access Section 9.2 charges against dead-block schemes.
-			a.setReused(set, true)
-			x.statusUpdate = true
-		}
-		a.l4.Read(now, ch, bk, row, 80, x.fnHit)
-		if !predHit {
-			if ntcKnown && ntcPresent {
-				// NTC guarantees the hit: squash the wasteful parallel
-				// memory access MAP-I would have issued.
-				a.st.NTCParallelSqsh++
-			} else {
-				a.mem.ReadLine(now, line, nil) // wasted parallel access
-			}
-		}
-		return
-	}
-
-	// --- Miss path. ---
-	// The memory access may start immediately when the miss is known or
-	// predicted; a predicted hit serialises memory behind the probe.
-	parallel := !predHit || skipProbe || (ntcKnown && !ntcPresent)
-	if skipProbe {
-		a.st.NTCProbesSaved++
-	}
-
-	// Fill / bypass decision (functional state updates immediately).
-	bypass := false
-	switch {
-	case a.opts.Inclusive:
-	case a.opts.BAB != nil:
-		bypass = a.opts.BAB.ShouldBypass(set)
-	case a.opts.DBP != nil:
-		bypass = a.opts.DBP.PredictDead(a.opts.DBP.Signature(pc))
-	}
-	var victimLine uint64
-	victimValid, victimDirty := false, false
-	if !bypass {
-		victimValid = a.isValid(set)
-		if victimValid {
-			victimLine = a.tag[set]
-			victimDirty = a.isDirty(set)
-			if a.opts.Inclusive {
-				if a.hooks.OnBackInvalidate != nil && a.hooks.OnBackInvalidate(victimLine) {
-					victimDirty = true // on-chip copy was dirty; forward it
-				}
-			} else if a.hooks.OnEvict != nil {
-				a.hooks.OnEvict(victimLine)
-			}
-			if a.opts.DBP != nil {
-				a.opts.DBP.Train(a.sig[set], a.isReused(set))
-			}
-		}
-		a.tag[set] = line
-		a.setValid(set, true)
-		a.setDirty(set, false)
-		if a.opts.DBP != nil {
-			a.sig[set] = a.opts.DBP.Signature(pc)
-			a.setReused(set, false)
-		}
-		a.syncNTC(gb, set)
-	} else {
-		a.st.Bypasses++
-	}
-
-	if !skipProbe {
-		a.depositNeighbor(gb, set)
-		a.depositDemand(gb, set)
-	}
-
-	x := a.getTxn()
-	x.now, x.line, x.ch, x.bk, x.row, x.done = now, line, ch, bk, row, done
-	x.filled = !bypass
-	x.victimLine, x.victimValid, x.victimDirty = victimLine, victimValid, victimDirty
+	c.lay = alloyLayout
+	c.wb = alloyWB{inclusive: opts.Inclusive, allocate: opts.WBAllocate}
 
 	switch {
-	case skipProbe:
-		a.mem.ReadLine(now, line, x.fnMissMem)
-	case parallel:
-		x.pendingBoth = 2
-		a.l4.Read(now, ch, bk, row, 80, x.fnBothProbe)
-		a.mem.ReadLine(now, line, x.fnBothMem)
-	default:
-		a.l4.Read(now, ch, bk, row, 80, x.fnSerialProbe)
-	}
-}
-
-// readIdeal is the BW-Optimized path: hits read 64 B; all secondary
-// operations are logical. Main-memory traffic (the demand fetch and dirty
-// victims) is still modelled, since BW-Opt idealises only the L4 bus.
-func (a *Alloy) readIdeal(now uint64, set, line uint64, hit bool, ch, bk int, row uint64, done func(uint64, ReadResult)) {
-	if hit {
-		x := a.getTxn()
-		x.now, x.done = now, done
-		a.l4.Read(now, ch, bk, row, 64, x.fnIdealHit)
-		return
-	}
-	if a.isValid(set) {
-		victim := a.tag[set]
-		if a.hooks.OnEvict != nil {
-			a.hooks.OnEvict(victim)
-		}
-		if a.isDirty(set) {
-			a.mem.WriteLine(now, victim)
-		}
-	}
-	a.tag[set] = line
-	a.setValid(set, true)
-	a.setDirty(set, false)
-	a.st.Fills++
-	x := a.getTxn()
-	x.now, x.done = now, done
-	a.mem.ReadLine(now, line, x.fnIdealMiss)
-}
-
-// Writeback implements Cache.
-func (a *Alloy) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
-	set := line % a.sets
-	hit := a.isValid(set) && a.tag[set] == line
-	ch, bk, row, gb := a.locate(set)
-
-	if a.opts.Ideal {
-		if hit {
-			a.setDirty(set, true)
-			a.st.WBHits++
-		} else {
-			a.st.WBMisses++
-			a.mem.WriteLine(now, line)
-		}
-		return
+	case opts.Pred == config.PredPerfect:
+		c.pred = oraclePred{}
+	case opts.Pred == config.PredAlwaysHit:
+		// No predictor: every miss serialises memory behind the probe.
+	case opts.Predictor != nil:
+		c.pred = mapiPred{opts.Predictor}
 	}
 
-	// Inclusion or a set DCP bit guarantees presence: update directly.
-	if (a.opts.Inclusive || pres == core.PresPresent) && hit {
-		if pres == core.PresPresent {
-			a.st.DCPProbesSaved++
-		}
-		a.st.WBHits++
-		a.setDirty(set, true)
-		a.syncNTC(gb, set)
-		a.st.AddBytes(stats.WBUpdate, 80)
-		a.l4.Write(now, ch, bk, row, 80)
-		return
+	var fill FillPolicy
+	switch {
+	case opts.BAB != nil:
+		fill = babFill{opts.BAB}
+	case opts.DBP != nil && opts.UpdateBypass:
+		fill = newUpdFill(opts.DBP, sets)
+	case opts.DBP != nil:
+		fill = newDBPFill(opts.DBP, sets)
 	}
-	// A clear DCP bit guarantees absence: under writeback-no-allocate the
-	// data goes straight to main memory, with neither probe nor fill.
-	// Under writeback-allocate a probe is still required before the fill,
-	// to recover a possibly-dirty victim (Section 5.2).
-	if pres == core.PresAbsent && !hit && !a.opts.WBAllocate {
-		a.st.DCPProbesSaved++
-		a.st.WBMisses++
-		a.mem.WriteLine(now, line)
-		return
+	if opts.Inclusive && fill != nil {
+		// Inclusion forbids bypass but monitors still observe traffic.
+		fill = noBypass{fill}
 	}
+	c.fill = fill
 
-	// Unknown (or a violated guarantee, handled conservatively): probe.
-	a.depositNeighbor(gb, set)
-	a.depositDemand(gb, set)
-	var victimLine uint64
-	victimValid, victimDirty := false, false
-	if hit {
-		a.setDirty(set, true)
-		a.syncNTC(gb, set)
-	} else if a.opts.WBAllocate {
-		// Writeback Fill: install the dirty line now (functional), pay
-		// for it when the probe completes.
-		victimValid = a.isValid(set)
-		if victimValid {
-			victimLine = a.tag[set]
-			victimDirty = a.isDirty(set)
-			if a.hooks.OnEvict != nil {
-				a.hooks.OnEvict(victimLine)
-			}
-		}
-		a.tag[set] = line
-		a.setValid(set, true)
-		a.setDirty(set, true)
-		a.syncNTC(gb, set)
+	if opts.NTC != nil || opts.TTC != nil {
+		c.filter = &ntcFilter{t: t, ntc: opts.NTC, ttc: opts.TTC}
 	}
-	x := a.getTxn()
-	x.line, x.ch, x.bk, x.row = line, ch, bk, row
-	x.hit = hit
-	x.victimLine, x.victimValid, x.victimDirty = victimLine, victimValid, victimDirty
-	a.l4.Read(now, ch, bk, row, 80, x.fnWBProbe)
-}
-
-var _ Cache = (*Alloy)(nil)
-
-func (a *Alloy) String() string {
-	return fmt.Sprintf("%s(sets=%d)", a.name, a.sets)
+	return c
 }

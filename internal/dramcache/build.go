@@ -58,6 +58,9 @@ func Build(cfg config.System, q *event.Queue, hooks Hooks) (*Bundle, error) {
 			opts.BAB = b.BAB
 		case config.DeadBlockBypass:
 			opts.DBP = core.NewDeadBlock(4096, 2)
+		case config.UpdateBypass:
+			opts.DBP = core.NewDeadBlock(4096, 2)
+			opts.UpdateBypass = true
 		}
 		if cfg.UseNTC {
 			b.NTC = core.NewNTC(cfg.L4.Channels*cfg.L4.Banks, cfg.NTCEntriesPerBank)

@@ -59,6 +59,9 @@ type Cache interface {
 	// functional-warming step of the paper's methodology).
 	Install(line uint64)
 	Stats() *stats.L4
+	// OutstandingTxns reports in-flight transactions; it must return zero
+	// once the event queue has drained (the pool-leak invariant).
+	OutstandingTxns() int
 }
 
 // MainMemory adapts the DDR dram.Memory to line-address granularity with
@@ -147,62 +150,10 @@ func (m *MainMemory) WriteLine(now uint64, line uint64) {
 }
 
 // NoL4 is the "no DRAM cache" memory system: every LLC miss goes to main
-// memory. It is the normalisation baseline of Figures 3 and 17.
-type NoL4 struct {
-	mem     *MainMemory
-	st      stats.L4
-	txnFree *noL4Txn
-}
-
-// noL4Txn is the pooled per-read state of the pass-through design.
-type noL4Txn struct {
-	n    *NoL4
-	now  uint64
-	done func(uint64, ReadResult)
-	fn   event.Func // pre-bound t.complete
-	next *noL4Txn
-}
-
-func (t *noL4Txn) complete(at uint64) {
-	n, now, done := t.n, t.now, t.done
-	t.done = nil
-	t.next = n.txnFree
-	n.txnFree = t
-	n.st.Miss(at - now)
-	done(at, ReadResult{})
-}
+// memory. It is the normalisation baseline of Figures 3 and 17, and the
+// degenerate composition of the layered controller: no tag store, so every
+// read passes through and every writeback forwards.
+type NoL4 = Controller
 
 // NewNoL4 builds the pass-through design.
-func NewNoL4(mem *MainMemory) *NoL4 { return &NoL4{mem: mem} }
-
-// Name implements Cache.
-func (n *NoL4) Name() string { return "NoL4" }
-
-// Read implements Cache.
-func (n *NoL4) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
-	t := n.txnFree
-	if t == nil {
-		t = &noL4Txn{n: n}
-		t.fn = t.complete
-	} else {
-		n.txnFree = t.next
-		t.next = nil
-	}
-	t.now, t.done = now, done
-	n.mem.ReadLine(now, line, t.fn)
-}
-
-// Writeback implements Cache.
-func (n *NoL4) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
-	n.st.WBMisses++
-	n.mem.WriteLine(now, line)
-}
-
-// Contains implements Cache.
-func (n *NoL4) Contains(line uint64) bool { return false }
-
-// Install implements Cache (no-op: there is no cache).
-func (n *NoL4) Install(line uint64) {}
-
-// Stats implements Cache.
-func (n *NoL4) Stats() *stats.L4 { return &n.st }
+func NewNoL4(mem *MainMemory) *NoL4 { return &Controller{name: "NoL4", mem: mem} }

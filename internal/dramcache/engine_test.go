@@ -1,0 +1,130 @@
+package dramcache
+
+import (
+	"testing"
+
+	"bear/internal/core"
+)
+
+// nopDone is a shared no-op read completion so the alloc test's hot loop
+// does not itself allocate a closure per access.
+func nopDone(uint64, ReadResult) {}
+
+// TestControllerAllocFree asserts the shared transaction engine's per-access
+// hot path is allocation-free once its txn pool, the DRAM request freelists
+// and the event heap are warm — for every tag-store/policy composition, not
+// just the Alloy baseline. A gigascale sweep funnels hundreds of millions of
+// accesses through these paths; per-txn garbage would dominate the run.
+func TestControllerAllocFree(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(f *fixture) Cache
+	}{
+		{"bear", func(f *fixture) Cache {
+			return NewAlloy("bear", 56, f.l4, f.mem, Hooks{}, AlloyOpts{
+				Predictor: NewMAPI(1, 256),
+				BAB:       core.NewBAB(0.9, 256, 1),
+				NTC:       core.NewNTC(8, 8),
+			})
+		}},
+		{"upd-bypass", func(f *fixture) Cache {
+			return NewAlloy("upd", 56, f.l4, f.mem, Hooks{}, AlloyOpts{
+				DBP: core.NewDeadBlock(4096, 2), UpdateBypass: true,
+			})
+		}},
+		{"tis", func(f *fixture) Cache {
+			return NewTIS("tis", 128, 4, f.l4, f.mem, Hooks{})
+		}},
+		{"sector", func(f *fixture) Cache {
+			return NewSector("sc", 256, 8, 2, f.l4, f.mem, Hooks{})
+		}},
+		{"loh-hill", func(f *fixture) Cache {
+			return NewLohHill("lh", 16, 29, f.l4, f.mem, Hooks{},
+				LHOpts{MissMapLatency: 24})
+		}},
+	}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			f := newFixture()
+			c := b.build(f)
+			// A working set larger than any of the small caches above, so
+			// the loop exercises hits, misses with victims, bypasses/squash
+			// paths, and writeback probes in steady state.
+			const lines = 1024
+			access := func(base uint64) {
+				for i := uint64(0); i < 64; i++ {
+					line := (base + i*17) % lines
+					c.Read(f.q.Now(), 0, line, 0x400+line<<3, nopDone)
+					if i%4 == 0 {
+						c.Writeback(f.q.Now(), 0, line, core.PresUnknown)
+					}
+				}
+				f.drain()
+			}
+			for w := uint64(0); w < 32; w++ { // warm pools to steady state
+				access(w * 64)
+			}
+			base := uint64(0)
+			allocs := testing.AllocsPerRun(100, func() {
+				base += 64
+				access(base)
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: warm access path allocated %.1f times per run, want 0",
+					b.name, allocs)
+			}
+			if n := c.OutstandingTxns(); n != 0 {
+				t.Fatalf("%s: %d transactions leaked after drain", b.name, n)
+			}
+		})
+	}
+}
+
+// TestUpdFillSampling pins the update-bypass policy's contract: the
+// status-bit write (OnHit == true) is paid at most once per fill and only in
+// sampled sets, and only sampled sets train the predictor.
+func TestUpdFillSampling(t *testing.T) {
+	d := core.NewDeadBlock(64, 2)
+	f := newUpdFill(d, 128)
+
+	if !f.sampled(0) || !f.sampled(64) || f.sampled(1) || f.sampled(63) {
+		t.Fatal("sampling mask should select sets 0 mod 64")
+	}
+
+	// Sampled set: first reuse pays the update, later reuses do not.
+	f.OnFill(0, 0x40, false)
+	if !f.OnHit(0) {
+		t.Error("first hit in a sampled set must write the status bit")
+	}
+	if f.OnHit(0) {
+		t.Error("second hit must not write again")
+	}
+
+	// Non-sampled set: reuse is tracked but never written back.
+	f.OnFill(1, 0x48, false)
+	if f.OnHit(1) {
+		t.Error("non-sampled set must never pay the status update")
+	}
+
+	// Eviction from a sampled set trains; from a non-sampled set it must
+	// not (its reuse bit was never architecturally written back).
+	before := d.Trainings
+	f.OnFill(0, 0x50, true)
+	if d.Trainings != before+1 {
+		t.Error("sampled-set eviction did not train the predictor")
+	}
+	f.OnFill(1, 0x58, true)
+	if d.Trainings != before+1 {
+		t.Error("non-sampled-set eviction trained the predictor")
+	}
+
+	// The bypass decision itself applies everywhere: train a signature dead
+	// and both sampled and non-sampled fills from it bypass.
+	sig := d.Signature(0x99)
+	for i := 0; i < 4; i++ {
+		d.Train(sig, false)
+	}
+	if !f.ShouldBypass(7, 0x99) {
+		t.Error("learned dead signature should bypass in any set")
+	}
+}

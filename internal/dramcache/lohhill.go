@@ -3,7 +3,6 @@ package dramcache
 import (
 	"bear/internal/core"
 	"bear/internal/dram"
-	"bear/internal/event"
 	"bear/internal/sram"
 	"bear/internal/stats"
 )
@@ -28,9 +27,13 @@ type LHOpts struct {
 // (MICRO 2011): each 2 KB row is one set, with three tag lines (192 B)
 // followed by 29 data lines. Servicing a hit reads the tag lines, then the
 // matching data line from the open row; LRU updates re-write a tag line.
-type LohHill struct {
-	name string
-	opts LHOpts
+type LohHill = Controller
+
+// lhTags is the tags-in-DRAM store: functional tags+LRU in an sram.Cache
+// (physically they live in the row's tag lines, charged via Layout), plus
+// the optional MissMap presence tracker and DIP insertion policy.
+type lhTags struct {
+	c *Controller
 
 	tags     *sram.Cache // functional tags+LRU (physically in DRAM)
 	mm       *MissMap    // presence tracker (nil for Mostly-Clean)
@@ -38,109 +41,128 @@ type LohHill struct {
 	channels uint64
 	banks    uint64
 
-	l4    *dram.Memory
-	mem   *MainMemory
-	hooks Hooks
-	st    stats.L4
-
 	lastNow uint64 // current request time, for MissMap-forced evictions
-
-	txnFree *lhTxn // recycled per-access transaction pool
 }
 
-// lhTxn is the pooled per-access state with pre-bound completion methods
-// (see alloyTxn for the rationale). The hit path chains two of them: the tag
-// read's completion issues the data read.
-type lhTxn struct {
-	l           *LohHill
-	now         uint64
-	line        uint64
-	ch, bk      int
-	row         uint64
-	hit         bool // writeback path: line is present
-	victimLine  uint64
-	victimValid bool
-	victimDirty bool
-	done        func(uint64, ReadResult)
-
-	fnHitTag, fnHitData, fnMiss, fnWBProbe event.Func
-	next                                   *lhTxn
+// locate maps a set (row) to DRAM coordinates.
+func (t *lhTags) locate(set uint64) Location {
+	ch := int(set % t.channels)
+	rest := set / t.channels
+	bk := int(rest % t.banks)
+	return Location{Ch: ch, Bk: bk, Row: rest / t.banks}
 }
 
-func (l *LohHill) getTxn() *lhTxn {
-	x := l.txnFree
-	if x == nil {
-		x = &lhTxn{l: l}
-		x.fnHitTag = x.onHitTag
-		x.fnHitData = x.onHitData
-		x.fnMiss = x.onMiss
-		x.fnWBProbe = x.onWBProbe
+// present answers the residency question the way the design would: via the
+// MissMap when one exists, else via the tags (the Mostly-Clean perfect
+// predictor).
+func (t *lhTags) present(line uint64) bool {
+	if t.mm != nil {
+		return t.mm.Present(line)
+	}
+	_, ok := t.tags.Lookup(line)
+	return ok
+}
+
+// Lookup implements TagStore. It also timestamps the request so that
+// MissMap-forced evictions (which fire from inside fills) can issue their
+// victim reads at the current time.
+func (t *lhTags) Lookup(now uint64, line uint64) Probe {
+	t.lastNow = now
+	set := t.tags.SetIndex(line)
+	return Probe{Hit: t.present(line), Loc: t.locate(set), Set: set}
+}
+
+// Touch implements TagStore (LRU promotion on a demand hit).
+func (t *lhTags) Touch(line uint64) { t.tags.Access(line, false) }
+
+// fill installs a line in the tag array and the MissMap, routing evictions.
+// Under DIP the insertion position follows the duel's current winner.
+func (t *lhTags) fill(line uint64) sram.Eviction {
+	var ev sram.Eviction
+	if t.dip != nil && !t.dip.InsertAtMRU(t.tags.SetIndex(line)) {
+		ev = t.tags.FillLRU(line, false, 0)
 	} else {
-		l.txnFree = x.next
-		x.next = nil
+		ev = t.tags.Fill(line, false, 0)
 	}
-	x.hit = false
-	x.victimValid, x.victimDirty = false, false
-	return x
-}
-
-func (l *LohHill) putTxn(x *lhTxn) {
-	x.done = nil
-	x.next = l.txnFree
-	l.txnFree = x
-}
-
-// onHitTag completes the tag-line read; the data line follows from the
-// now-open row.
-func (x *lhTxn) onHitTag(t uint64) {
-	x.l.st.AddBytes(stats.HitProbe, lhTagBytes)
-	x.l.l4.Read(t, x.ch, x.bk, x.row, lhDataBytes, x.fnHitData)
-}
-
-// onHitData completes the data read and pays the LRU-state write-back
-// (footnote 3's replacement-update bloat).
-func (x *lhTxn) onHitData(t uint64) {
-	l := x.l
-	l.st.AddBytes(stats.HitProbe, lhDataBytes)
-	l.st.Hit(t - x.now)
-	l.st.AddBytes(stats.ReplUpdate, lhDataBytes)
-	l.l4.Write(t, x.ch, x.bk, x.row, lhDataBytes)
-	done := x.done
-	l.putTxn(x)
-	done(t, ReadResult{FromL4: true, InL4: true})
-}
-
-// onMiss completes the memory fetch: fill, recover any dirty victim, retire.
-func (x *lhTxn) onMiss(t uint64) {
-	l := x.l
-	l.st.Miss(t - x.now)
-	l.st.Fills++
-	l.st.AddBytes(stats.MissFill, lhFillBytes)
-	l.l4.Write(t, x.ch, x.bk, x.row, lhFillBytes)
-	if x.victimValid && x.victimDirty {
-		// The victim's data must be recovered before it is lost.
-		l.st.AddBytes(stats.VictimRead, lhDataBytes)
-		l.l4.Read(t, x.ch, x.bk, x.row, lhDataBytes, l.mem.VictimFwd(x.victimLine))
+	if ev.Valid {
+		if t.mm != nil {
+			t.mm.Clear(ev.Addr)
+		}
+		if t.c.hooks.OnEvict != nil {
+			t.c.hooks.OnEvict(ev.Addr)
+		}
 	}
-	done := x.done
-	l.putTxn(x)
-	done(t, ReadResult{FromL4: false, InL4: true})
+	if t.mm != nil {
+		t.mm.Set(line)
+	}
+	return ev
 }
 
-// onWBProbe completes the Mostly-Clean writeback's tag probe.
-func (x *lhTxn) onWBProbe(t uint64) {
-	l := x.l
-	l.st.AddBytes(stats.WBProbe, lhTagBytes)
-	if x.hit {
-		l.st.WBHits++
-		l.st.AddBytes(stats.WBUpdate, lhFillBytes)
-		l.l4.Write(t, x.ch, x.bk, x.row, lhFillBytes)
-	} else {
-		l.st.WBMisses++
-		l.mem.WriteLine(t, x.line)
+// Fill implements TagStore.
+func (t *lhTags) Fill(_ uint64, line, _ uint64) FillResult {
+	set := t.tags.SetIndex(line)
+	ev := t.fill(line)
+	return FillResult{
+		Loc:         t.locate(set),
+		VictimLine:  ev.Addr,
+		VictimValid: ev.Valid,
+		VictimDirty: ev.Dirty,
 	}
-	l.putTxn(x)
 }
+
+// WritebackHit implements TagStore.
+func (t *lhTags) WritebackHit(line uint64) { t.tags.SetDirty(line) }
+
+// WritebackFill implements TagStore (unreachable: LH designs never
+// allocate on writeback misses).
+func (t *lhTags) WritebackFill(uint64, uint64) FillResult {
+	panic("dramcache: Loh-Hill writeback never allocates")
+}
+
+// Contains implements TagStore.
+func (t *lhTags) Contains(line uint64) bool {
+	_, ok := t.tags.Lookup(line)
+	return ok
+}
+
+// Install implements TagStore: a free functional fill used for pre-warming.
+func (t *lhTags) Install(line uint64) {
+	if _, ok := t.tags.Lookup(line); !ok {
+		t.fill(line)
+	}
+}
+
+// missMapEvict handles the forced eviction of a line whose MissMap segment
+// entry was replaced: the line must leave the DRAM cache (its presence can
+// no longer be tracked). A dirty casualty is recovered and written to
+// memory, costing a victim read — the MissMap's hidden tax.
+func (t *lhTags) missMapEvict(line uint64) {
+	ln, ok := t.tags.Invalidate(line)
+	if !ok {
+		return
+	}
+	if t.c.hooks.OnEvict != nil {
+		t.c.hooks.OnEvict(line)
+	}
+	if ln.Dirty {
+		set := t.tags.SetIndex(line)
+		t.c.st.AddBytes(stats.VictimRead, lhDataBytes)
+		t.c.l4Read(t.lastNow, t.locate(set), lhDataBytes, t.c.mem.VictimFwd(line))
+	}
+}
+
+// dipFill exposes DIP's miss monitor as a FillPolicy (the insertion
+// position itself is a tag-store mechanic, applied inside lhTags.fill).
+type dipFill struct{ d *core.DIP }
+
+func (f dipFill) RecordAccess(set uint64, miss bool) {
+	if miss {
+		f.d.RecordMiss(set)
+	}
+}
+func (f dipFill) ShouldBypass(uint64, uint64) bool { return false }
+func (f dipFill) OnHit(uint64) bool                { return false }
+func (f dipFill) OnFill(uint64, uint64, bool)      {}
 
 // Loh-Hill transfer sizes (bytes).
 const (
@@ -149,23 +171,37 @@ const (
 	lhFillBytes = 128 // data line + the tag line it lives in
 )
 
-// NewLohHill builds an LH-family cache with the given set (row) count.
+// lhLayout: hits chain a tag-line read and a data read from the open row,
+// then unconditionally re-write LRU state (footnote 3's replacement-update
+// bloat); misses fill without probing (presence was already answered).
+var lhLayout = Layout{
+	HitBytes:        lhDataBytes,
+	TagBytes:        lhTagBytes,
+	UpdateBytes:     lhDataBytes,
+	UpdateAlways:    true,
+	FillBytes:       lhFillBytes,
+	VictimReadBytes: lhDataBytes,
+	WBUpdateBytes:   lhFillBytes,
+	WBProbeBytes:    lhTagBytes,
+}
+
+// NewLohHill composes an LH-family cache with the given set (row) count.
 // Designs with a MissMap (MissMapLatency > 0) get a capacity-bounded
 // presence tracker (see the sizing note at its construction).
 func NewLohHill(name string, sets uint64, ways int, l4 *dram.Memory, mem *MainMemory, hooks Hooks, opts LHOpts) *LohHill {
 	cfg := l4.Config()
-	l := &LohHill{
-		name:     name,
-		opts:     opts,
+	c := &Controller{name: name, lay: lhLayout, l4: l4, mem: mem, hooks: hooks}
+	c.lay.ExtraLatency = opts.MissMapLatency
+	t := &lhTags{
+		c:        c,
 		tags:     sram.New(sets, ways),
 		channels: uint64(cfg.Channels),
 		banks:    uint64(cfg.Banks),
-		l4:       l4,
-		mem:      mem,
-		hooks:    hooks,
 	}
+	c.tags = t
 	if opts.UseDIP {
-		l.dip = core.NewDIP(1024)
+		t.dip = core.NewDIP(1024)
+		c.fill = dipFill{t.dip}
 	}
 	if opts.MissMapLatency > 0 {
 		// The BEAR paper idealises the MissMap ("same latency as the LLC",
@@ -178,152 +214,13 @@ func NewLohHill(name string, sets uint64, ways int, l4 *dram.Memory, mem *MainMe
 		if segments < 64 {
 			segments = 64
 		}
-		l.mm = NewMissMap(segments, 16, 64, l.missMapEvict)
-	}
-	return l
-}
-
-// missMapEvict handles the forced eviction of a line whose MissMap segment
-// entry was replaced: the line must leave the DRAM cache (its presence can
-// no longer be tracked). A dirty casualty is recovered and written to
-// memory, costing a victim read — the MissMap's hidden tax.
-func (l *LohHill) missMapEvict(line uint64) {
-	ln, ok := l.tags.Invalidate(line)
-	if !ok {
-		return
-	}
-	if l.hooks.OnEvict != nil {
-		l.hooks.OnEvict(line)
-	}
-	if ln.Dirty {
-		set := l.tags.SetIndex(line)
-		ch, bk, row := l.locate(set)
-		l.st.AddBytes(stats.VictimRead, lhDataBytes)
-		l.l4.Read(l.lastNow, ch, bk, row, lhDataBytes, l.mem.VictimFwd(line))
-	}
-}
-
-// Name implements Cache.
-func (l *LohHill) Name() string { return l.name }
-
-// Stats implements Cache.
-func (l *LohHill) Stats() *stats.L4 { return &l.st }
-
-// Contains implements Cache.
-func (l *LohHill) Contains(line uint64) bool {
-	_, ok := l.tags.Lookup(line)
-	return ok
-}
-
-// present answers the residency question the way the design would: via the
-// MissMap when one exists, else via the tags (the Mostly-Clean perfect
-// predictor).
-func (l *LohHill) present(line uint64) bool {
-	if l.mm != nil {
-		return l.mm.Present(line)
-	}
-	_, ok := l.tags.Lookup(line)
-	return ok
-}
-
-// fill installs a line in the tag array and the MissMap, routing evictions.
-// Under DIP the insertion position follows the duel's current winner.
-func (l *LohHill) fill(line uint64) sram.Eviction {
-	var ev sram.Eviction
-	if l.dip != nil && !l.dip.InsertAtMRU(l.tags.SetIndex(line)) {
-		ev = l.tags.FillLRU(line, false, 0)
+		t.mm = NewMissMap(segments, 16, 64, t.missMapEvict)
+		// The MissMap answers writeback presence: no probe needed.
+		c.wb = directWB{}
 	} else {
-		ev = l.tags.Fill(line, false, 0)
+		// Mostly-Clean: writebacks must probe the tag lines unless a DCP
+		// bit answers.
+		c.wb = probeWB{}
 	}
-	if ev.Valid {
-		if l.mm != nil {
-			l.mm.Clear(ev.Addr)
-		}
-		if l.hooks.OnEvict != nil {
-			l.hooks.OnEvict(ev.Addr)
-		}
-	}
-	if l.mm != nil {
-		l.mm.Set(line)
-	}
-	return ev
+	return c
 }
-
-// Install implements Cache: a free functional fill used for pre-warming.
-func (l *LohHill) Install(line uint64) {
-	if _, ok := l.tags.Lookup(line); !ok {
-		l.fill(line)
-	}
-}
-
-// locate maps a set (row) to DRAM coordinates.
-func (l *LohHill) locate(set uint64) (ch, bk int, row uint64) {
-	ch = int(set % l.channels)
-	rest := set / l.channels
-	bk = int(rest % l.banks)
-	row = rest / l.banks
-	return ch, bk, row
-}
-
-// Read implements Cache.
-func (l *LohHill) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
-	l.lastNow = now
-	set := l.tags.SetIndex(line)
-	ch, bk, row := l.locate(set)
-	present := l.present(line)
-	start := now + l.opts.MissMapLatency
-
-	if present {
-		l.tags.Access(line, false) // LRU promotion
-		// Tag read, then the data line from the now-open row, then the
-		// LRU-state write-back (footnote 3's replacement-update bloat).
-		x := l.getTxn()
-		x.now, x.ch, x.bk, x.row, x.done = now, ch, bk, row, done
-		l.l4.Read(start, ch, bk, row, lhTagBytes, x.fnHitTag)
-		return
-	}
-
-	// Miss: both the MissMap and the Mostly-Clean perfect predictor avoid
-	// the Miss Probe entirely and dispatch to memory. Fill always.
-	if l.dip != nil {
-		l.dip.RecordMiss(set)
-	}
-	ev := l.fill(line)
-	x := l.getTxn()
-	x.now, x.ch, x.bk, x.row, x.done = now, ch, bk, row, done
-	x.victimLine, x.victimValid, x.victimDirty = ev.Addr, ev.Valid, ev.Dirty
-	l.mem.ReadLine(start, line, x.fnMiss)
-}
-
-// Writeback implements Cache.
-func (l *LohHill) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
-	l.lastNow = now
-	set := l.tags.SetIndex(line)
-	ch, bk, row := l.locate(set)
-	present := l.present(line)
-	start := now + l.opts.MissMapLatency
-
-	if l.opts.MissMapLatency > 0 || pres != core.PresUnknown {
-		// The MissMap (or a DCP bit) answers presence: no probe needed.
-		if present {
-			l.tags.SetDirty(line)
-			l.st.WBHits++
-			l.st.AddBytes(stats.WBUpdate, lhFillBytes)
-			l.l4.Write(start, ch, bk, row, lhFillBytes)
-		} else {
-			l.st.WBMisses++
-			l.mem.WriteLine(start, line)
-		}
-		return
-	}
-
-	// Mostly-Clean: writebacks must probe the tag lines.
-	if present {
-		l.tags.SetDirty(line)
-	}
-	x := l.getTxn()
-	x.line, x.ch, x.bk, x.row, x.hit = line, ch, bk, row, present
-	l.l4.Read(start, ch, bk, row, lhTagBytes, x.fnWBProbe)
-}
-
-var _ Cache = (*LohHill)(nil)

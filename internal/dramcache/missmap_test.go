@@ -74,9 +74,10 @@ func TestLHMissMapConsistency(t *testing.T) {
 	f.drain()
 	// Every line the tags hold must be present in the MissMap and vice
 	// versa (checked through the public surface).
+	lt := l.Tags().(*lhTags)
 	for line := uint64(0); line < 4096; line++ {
-		_, inTags := l.tags.Lookup(line)
-		inMM := l.mm.Present(line)
+		_, inTags := lt.tags.Lookup(line)
+		inMM := lt.mm.Present(line)
 		if inTags != inMM {
 			t.Fatalf("line %d: tags=%v missmap=%v", line, inTags, inMM)
 		}
@@ -98,7 +99,7 @@ func TestLHMissMapForcedEvictionRecoversDirty(t *testing.T) {
 		read(t, f, l, i*64) // one line per segment
 	}
 	f.drain()
-	if l.mm.SegEvictions == 0 {
+	if l.Tags().(*lhTags).mm.SegEvictions == 0 {
 		t.Skip("missmap larger than stream; nothing evicted")
 	}
 	if l.Contains(0) {

@@ -1,9 +1,7 @@
 package dramcache
 
 import (
-	"bear/internal/core"
 	"bear/internal/dram"
-	"bear/internal/event"
 	"bear/internal/sram"
 	"bear/internal/stats"
 )
@@ -15,8 +13,13 @@ import (
 // dirty line of the victim sector from the DRAM cache and write it to
 // memory — the dirty-replacement penalty the paper identifies as SC's
 // downfall.
-type Sector struct {
-	name string
+type Sector = Controller
+
+// sectorTags is the sector-granular tag store: an sram.Cache keyed by
+// sector address, per-line valid/dirty bits per frame, and a map from
+// resident sector to its data frame.
+type sectorTags struct {
+	c *Controller
 
 	tags       *sram.Cache // keyed by sector address
 	ways       uint64
@@ -28,69 +31,151 @@ type Sector struct {
 	channels uint64
 	banks    uint64
 	lpr      uint64
-
-	l4    *dram.Memory
-	mem   *MainMemory
-	hooks Hooks
-	st    stats.L4
-
-	txnFree *sectorTxn // recycled per-access transaction pool
 }
 
-// sectorTxn is the pooled per-access state with pre-bound completion methods
-// (see alloyTxn for the rationale).
-type sectorTxn struct {
-	c             *Sector
-	now           uint64
-	ch, bk        int
-	row           uint64
-	done          func(uint64, ReadResult)
-	fnHit, fnFill event.Func
-	next          *sectorTxn
+func (t *sectorTags) sectorOf(line uint64) (sector, offset uint64) {
+	return line / t.linesPer, line % t.linesPer
 }
 
-func (c *Sector) getTxn() *sectorTxn {
-	x := c.txnFree
-	if x == nil {
-		x = &sectorTxn{c: c}
-		x.fnHit = x.onHit
-		x.fnFill = x.onFill
-	} else {
-		c.txnFree = x.next
-		x.next = nil
+// locateLine maps a (frame, offset) to DRAM coordinates.
+func (t *sectorTags) locateLine(frame, offset uint64) Location {
+	unit := (frame*t.linesPer + offset) / t.lpr
+	ch := int(unit % t.channels)
+	rest := unit / t.channels
+	bk := int(rest % t.banks)
+	return Location{Ch: ch, Bk: bk, Row: rest / t.banks}
+}
+
+// Lookup implements TagStore. A resident sector with the line absent is
+// reported as a miss with FreeFill set: both reads (fetch just the line)
+// and writebacks (install in place) fill into the sector without a victim.
+func (t *sectorTags) Lookup(_ uint64, line uint64) Probe {
+	sector, off := t.sectorOf(line)
+	if _, ok := t.tags.Lookup(sector); !ok {
+		return Probe{Set: t.tags.SetIndex(sector)}
 	}
-	return x
+	frame := t.frameOfSec[sector]
+	return Probe{
+		Hit:      t.validBits[frame]&(1<<off) != 0,
+		Loc:      t.locateLine(frame, off),
+		Set:      t.tags.SetIndex(sector),
+		FreeFill: true,
+	}
 }
 
-func (c *Sector) putTxn(x *sectorTxn) {
-	x.done = nil
-	x.next = c.txnFree
-	c.txnFree = x
+// Touch implements TagStore (sector-granular LRU promotion).
+func (t *sectorTags) Touch(line uint64) {
+	sector, _ := t.sectorOf(line)
+	t.tags.Access(sector, false)
 }
 
-func (x *sectorTxn) onHit(t uint64) {
-	c := x.c
-	c.st.ReadHits++
-	c.st.AddBytes(stats.HitProbe, 64)
-	c.st.HitLatSum += t - x.now
-	done := x.done
-	c.putTxn(x)
-	done(t, ReadResult{FromL4: true, InL4: true})
+// allocSector installs a sector, evicting a victim sector if needed, and
+// returns the new sector's frame. Dirty victim lines are read from the
+// DRAM cache and forwarded to memory at time now.
+func (t *sectorTags) allocSector(now uint64, sector uint64) uint64 {
+	set := t.tags.SetIndex(sector)
+	way := t.tags.VictimWay(sector)
+	frame := set*t.ways + uint64(way)
+	ev := t.tags.Fill(sector, false, 0)
+	if ev.Valid {
+		delete(t.frameOfSec, ev.Addr)
+		valid, dirty := t.validBits[frame], t.dirtyBits[frame]
+		for off := uint64(0); off < t.linesPer; off++ {
+			bit := uint64(1) << off
+			if valid&bit == 0 {
+				continue
+			}
+			victimLine := ev.Addr*t.linesPer + off
+			if t.c.hooks.OnEvict != nil {
+				t.c.hooks.OnEvict(victimLine)
+			}
+			if dirty&bit != 0 {
+				// Recover the dirty line before the frame is reused.
+				t.c.st.AddBytes(stats.VictimRead, 64)
+				t.c.l4Read(now, t.locateLine(frame, off), 64, t.c.mem.VictimFwd(victimLine))
+			}
+		}
+	}
+	t.validBits[frame] = 0
+	t.dirtyBits[frame] = 0
+	t.frameOfSec[sector] = frame
+	return frame
 }
 
-func (x *sectorTxn) onFill(t uint64) {
-	c := x.c
-	c.st.Miss(t - x.now)
-	c.st.Fills++
-	c.st.AddBytes(stats.MissFill, 64)
-	c.l4.Write(t, x.ch, x.bk, x.row, 64)
-	done := x.done
-	c.putTxn(x)
-	done(t, ReadResult{FromL4: false, InL4: true})
+// Fill implements TagStore: a resident sector takes the line in place
+// (promoting the sector); a sector miss allocates, paying any dirty-victim
+// recovery at issue — so no victim is ever reported to the engine.
+func (t *sectorTags) Fill(now uint64, line, _ uint64) FillResult {
+	sector, off := t.sectorOf(line)
+	var frame uint64
+	if _, ok := t.tags.Lookup(sector); ok {
+		frame = t.frameOfSec[sector]
+		t.tags.Access(sector, false)
+	} else {
+		frame = t.allocSector(now, sector)
+	}
+	t.validBits[frame] |= 1 << off
+	return FillResult{Loc: t.locateLine(frame, off)}
 }
 
-// NewSector builds a sector cache of `lines` total data lines, grouped into
-// sectors of sectorLines lines (must be <= 64), with the given sector
+// WritebackHit implements TagStore.
+func (t *sectorTags) WritebackHit(line uint64) {
+	sector, off := t.sectorOf(line)
+	t.dirtyBits[t.frameOfSec[sector]] |= 1 << off
+}
+
+// WritebackFill implements TagStore: only called on the FreeFill path
+// (sector resident, line absent) — set the line's valid and dirty bits.
+func (t *sectorTags) WritebackFill(_ uint64, line uint64) FillResult {
+	sector, off := t.sectorOf(line)
+	frame := t.frameOfSec[sector]
+	bit := uint64(1) << off
+	t.validBits[frame] |= bit
+	t.dirtyBits[frame] |= bit
+	return FillResult{Loc: t.locateLine(frame, off)}
+}
+
+// Contains implements TagStore.
+func (t *sectorTags) Contains(line uint64) bool {
+	sector, off := t.sectorOf(line)
+	if _, ok := t.tags.Lookup(sector); !ok {
+		return false
+	}
+	return t.validBits[t.frameOfSec[sector]]&(1<<off) != 0
+}
+
+// Install implements TagStore.
+func (t *sectorTags) Install(line uint64) {
+	sector, off := t.sectorOf(line)
+	var frame uint64
+	if _, ok := t.tags.Lookup(sector); ok {
+		frame = t.frameOfSec[sector]
+	} else {
+		set := t.tags.SetIndex(sector)
+		way := t.tags.VictimWay(sector)
+		frame = set*t.ways + uint64(way)
+		ev := t.tags.Fill(sector, false, 0)
+		if ev.Valid {
+			delete(t.frameOfSec, ev.Addr)
+		}
+		t.validBits[frame] = 0
+		t.dirtyBits[frame] = 0
+		t.frameOfSec[sector] = frame
+	}
+	t.validBits[frame] |= 1 << off
+}
+
+// sectorLayout: probes are free (tags on chip), data operations move 64 B
+// lines; victims are settled at issue inside the tag store, never by the
+// engine.
+var sectorLayout = Layout{
+	HitBytes:      64,
+	FillBytes:     64,
+	WBUpdateBytes: 64,
+}
+
+// NewSector composes a sector cache of `lines` total data lines, grouped
+// into sectors of sectorLines lines (must be <= 64), with the given sector
 // associativity.
 func NewSector(name string, lines uint64, sectorLines uint64, ways int, l4 *dram.Memory, mem *MainMemory, hooks Hooks) *Sector {
 	if sectorLines == 0 || sectorLines > 64 {
@@ -103,8 +188,9 @@ func NewSector(name string, lines uint64, sectorLines uint64, ways int, l4 *dram
 		sets = 1
 	}
 	frames := sets * uint64(ways)
-	return &Sector{
-		name:       name,
+	c := &Controller{name: name, lay: sectorLayout, l4: l4, mem: mem, hooks: hooks, wb: directWB{}}
+	c.tags = &sectorTags{
+		c:          c,
 		tags:       sram.New(sets, ways),
 		ways:       uint64(ways),
 		linesPer:   sectorLines,
@@ -114,155 +200,6 @@ func NewSector(name string, lines uint64, sectorLines uint64, ways int, l4 *dram
 		channels:   uint64(cfg.Channels),
 		banks:      uint64(cfg.Banks),
 		lpr:        uint64(cfg.RowBytes / 64),
-		l4:         l4,
-		mem:        mem,
-		hooks:      hooks,
 	}
+	return c
 }
-
-// Name implements Cache.
-func (c *Sector) Name() string { return c.name }
-
-// Stats implements Cache.
-func (c *Sector) Stats() *stats.L4 { return &c.st }
-
-func (c *Sector) sectorOf(line uint64) (sector, offset uint64) {
-	return line / c.linesPer, line % c.linesPer
-}
-
-// Contains implements Cache.
-func (c *Sector) Contains(line uint64) bool {
-	sector, off := c.sectorOf(line)
-	if _, ok := c.tags.Lookup(sector); !ok {
-		return false
-	}
-	f := c.frameOfSec[sector]
-	return c.validBits[f]&(1<<off) != 0
-}
-
-// Install implements Cache: a free functional fill used for pre-warming.
-func (c *Sector) Install(line uint64) {
-	sector, off := c.sectorOf(line)
-	var frame uint64
-	if _, ok := c.tags.Lookup(sector); ok {
-		frame = c.frameOfSec[sector]
-	} else {
-		set := c.tags.SetIndex(sector)
-		way := c.tags.VictimWay(sector)
-		frame = set*c.ways + uint64(way)
-		ev := c.tags.Fill(sector, false, 0)
-		if ev.Valid {
-			delete(c.frameOfSec, ev.Addr)
-		}
-		c.validBits[frame] = 0
-		c.dirtyBits[frame] = 0
-		c.frameOfSec[sector] = frame
-	}
-	c.validBits[frame] |= 1 << off
-}
-
-// locateLine maps a (frame, offset) to DRAM coordinates.
-func (c *Sector) locateLine(frame, offset uint64) (ch, bk int, row uint64) {
-	unit := (frame*c.linesPer + offset) / c.lpr
-	ch = int(unit % c.channels)
-	rest := unit / c.channels
-	bk = int(rest % c.banks)
-	row = rest / c.banks
-	return ch, bk, row
-}
-
-// allocSector installs a sector, evicting a victim sector if needed, and
-// returns the new sector's frame. Dirty victim lines are read from the
-// DRAM cache and forwarded to memory at time now.
-func (c *Sector) allocSector(now uint64, sector uint64) uint64 {
-	set := c.tags.SetIndex(sector)
-	way := c.tags.VictimWay(sector)
-	frame := set*c.ways + uint64(way)
-	ev := c.tags.Fill(sector, false, 0)
-	if ev.Valid {
-		delete(c.frameOfSec, ev.Addr)
-		valid, dirty := c.validBits[frame], c.dirtyBits[frame]
-		for off := uint64(0); off < c.linesPer; off++ {
-			bit := uint64(1) << off
-			if valid&bit == 0 {
-				continue
-			}
-			victimLine := ev.Addr*c.linesPer + off
-			if c.hooks.OnEvict != nil {
-				c.hooks.OnEvict(victimLine)
-			}
-			if dirty&bit != 0 {
-				// Recover the dirty line before the frame is reused.
-				c.st.AddBytes(stats.VictimRead, 64)
-				ch, bk, row := c.locateLine(frame, off)
-				c.l4.Read(now, ch, bk, row, 64, c.mem.VictimFwd(victimLine))
-			}
-		}
-	}
-	c.validBits[frame] = 0
-	c.dirtyBits[frame] = 0
-	c.frameOfSec[sector] = frame
-	return frame
-}
-
-// Read implements Cache.
-func (c *Sector) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
-	sector, off := c.sectorOf(line)
-	bit := uint64(1) << off
-
-	if _, ok := c.tags.Lookup(sector); ok {
-		frame := c.frameOfSec[sector]
-		c.tags.Access(sector, false)
-		if c.validBits[frame]&bit != 0 {
-			ch, bk, row := c.locateLine(frame, off)
-			x := c.getTxn()
-			x.now, x.done = now, done
-			c.l4.Read(now, ch, bk, row, 64, x.fnHit)
-			return
-		}
-		// Sector present, line absent: fetch and fill just the line.
-		c.validBits[frame] |= bit
-		c.fillLine(now, frame, off, line, done)
-		return
-	}
-
-	// Sector miss: allocate (paying any dirty-victim recovery) then fill.
-	frame := c.allocSector(now, sector)
-	c.validBits[frame] |= bit
-	c.fillLine(now, frame, off, line, done)
-}
-
-func (c *Sector) fillLine(now uint64, frame, off, line uint64, done func(uint64, ReadResult)) {
-	ch, bk, row := c.locateLine(frame, off)
-	x := c.getTxn()
-	x.now, x.ch, x.bk, x.row, x.done = now, ch, bk, row, done
-	c.mem.ReadLine(now, line, x.fnFill)
-}
-
-// Writeback implements Cache.
-func (c *Sector) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
-	sector, off := c.sectorOf(line)
-	bit := uint64(1) << off
-	if _, ok := c.tags.Lookup(sector); ok {
-		frame := c.frameOfSec[sector]
-		ch, bk, row := c.locateLine(frame, off)
-		if c.validBits[frame]&bit != 0 {
-			c.st.WBHits++
-			c.dirtyBits[frame] |= bit
-			c.st.AddBytes(stats.WBUpdate, 64)
-			c.l4.Write(now, ch, bk, row, 64)
-			return
-		}
-		// Sector resident but line absent: writeback-fill into the sector.
-		c.validBits[frame] |= bit
-		c.dirtyBits[frame] |= bit
-		c.st.WBHits++
-		c.st.AddBytes(stats.WBFill, 64)
-		c.l4.Write(now, ch, bk, row, 64)
-		return
-	}
-	c.st.WBMisses++
-	c.mem.WriteLine(now, line)
-}
-
-var _ Cache = (*Sector)(nil)

@@ -1,11 +1,8 @@
 package dramcache
 
 import (
-	"bear/internal/core"
 	"bear/internal/dram"
-	"bear/internal/event"
 	"bear/internal/sram"
-	"bear/internal/stats"
 )
 
 // TIS is the Tags-In-SRAM design of Section 8: an idealised on-chip SRAM
@@ -14,83 +11,92 @@ import (
 // stacked DRAM. Probes are free; only data movement touches the DRAM-cache
 // bus, so hits move exactly 64 B — but Miss Fills, Writeback Updates and
 // dirty-victim reads still bloat the bus.
-type TIS struct {
-	name string
+type TIS = Controller
+
+// sramTags is the tags-in-SRAM tag store: a set-associative sram.Cache
+// answers presence instantly, and the (set, way) pair locates the line's
+// data frame in the DRAM array.
+type sramTags struct {
+	c *Controller
 
 	tags     *sram.Cache
 	ways     uint64
 	channels uint64
 	banks    uint64
 	lpr      uint64 // data lines per DRAM row
-
-	l4    *dram.Memory
-	mem   *MainMemory
-	hooks Hooks
-	st    stats.L4
-
-	txnFree *tisTxn // recycled per-access transaction pool
 }
 
-// tisTxn is the pooled per-access state with pre-bound completion methods
-// (see alloyTxn for the rationale).
-type tisTxn struct {
-	c            *TIS
-	now          uint64
-	ch, bk       int
-	row          uint64
-	victimLine   uint64
-	victimValid  bool
-	victimDirty  bool
-	done         func(uint64, ReadResult)
-	fnHit, fnMiss event.Func
-	next         *tisTxn
+// locateFrame maps a (set, way) data frame to DRAM coordinates.
+func (t *sramTags) locateFrame(set uint64, way int) Location {
+	unit := (set*t.ways + uint64(way)) / t.lpr
+	ch := int(unit % t.channels)
+	rest := unit / t.channels
+	bk := int(rest % t.banks)
+	return Location{Ch: ch, Bk: bk, Row: rest / t.banks}
 }
 
-func (c *TIS) getTxn() *tisTxn {
-	x := c.txnFree
-	if x == nil {
-		x = &tisTxn{c: c}
-		x.fnHit = x.onHit
-		x.fnMiss = x.onMiss
-	} else {
-		c.txnFree = x.next
-		x.next = nil
+// Lookup implements TagStore.
+func (t *sramTags) Lookup(_ uint64, line uint64) Probe {
+	set := t.tags.SetIndex(line)
+	if way, ok := t.tags.WayOf(line); ok {
+		return Probe{Hit: true, Loc: t.locateFrame(set, way), Set: set}
 	}
-	x.victimValid, x.victimDirty = false, false
-	return x
+	return Probe{Set: set}
 }
 
-func (c *TIS) putTxn(x *tisTxn) {
-	x.done = nil
-	x.next = c.txnFree
-	c.txnFree = x
-}
+// Touch implements TagStore (LRU promotion on a demand hit).
+func (t *sramTags) Touch(line uint64) { t.tags.Access(line, false) }
 
-func (x *tisTxn) onHit(t uint64) {
-	c := x.c
-	c.st.AddBytes(stats.HitProbe, 64)
-	c.st.Hit(t - x.now)
-	done := x.done
-	c.putTxn(x)
-	done(t, ReadResult{FromL4: true, InL4: true})
-}
-
-func (x *tisTxn) onMiss(t uint64) {
-	c := x.c
-	c.st.Miss(t - x.now)
-	c.st.Fills++
-	c.st.AddBytes(stats.MissFill, 64)
-	c.l4.Write(t, x.ch, x.bk, x.row, 64)
-	if x.victimValid && x.victimDirty {
-		c.st.AddBytes(stats.VictimRead, 64)
-		c.l4.Read(t, x.ch, x.bk, x.row, 64, c.mem.VictimFwd(x.victimLine))
+// Fill implements TagStore: tags answer instantly (idealised SRAM), the
+// displaced victim's frame is reused for the new line.
+func (t *sramTags) Fill(_ uint64, line, _ uint64) FillResult {
+	set := t.tags.SetIndex(line)
+	way := t.tags.VictimWay(line)
+	ev := t.tags.Fill(line, false, 0)
+	if ev.Valid && t.c.hooks.OnEvict != nil {
+		t.c.hooks.OnEvict(ev.Addr)
 	}
-	done := x.done
-	c.putTxn(x)
-	done(t, ReadResult{FromL4: false, InL4: true})
+	return FillResult{
+		Loc:         t.locateFrame(set, way),
+		VictimLine:  ev.Addr,
+		VictimValid: ev.Valid,
+		VictimDirty: ev.Dirty,
+	}
 }
 
-// NewTIS builds a Tags-In-SRAM cache holding `lines` data lines with the
+// WritebackHit implements TagStore.
+func (t *sramTags) WritebackHit(line uint64) { t.tags.SetDirty(line) }
+
+// WritebackFill implements TagStore (unreachable: TIS never allocates on
+// writeback misses).
+func (t *sramTags) WritebackFill(uint64, uint64) FillResult {
+	panic("dramcache: TIS writeback never allocates")
+}
+
+// Contains implements TagStore.
+func (t *sramTags) Contains(line uint64) bool {
+	_, ok := t.tags.Lookup(line)
+	return ok
+}
+
+// Install implements TagStore.
+func (t *sramTags) Install(line uint64) {
+	if _, ok := t.tags.Lookup(line); !ok {
+		t.tags.Fill(line, false, 0)
+	}
+}
+
+// tisLayout: probes are free (tags on chip); every data operation moves one
+// 64 B line, and dirty victims must be read back before their frame is
+// reused.
+var tisLayout = Layout{
+	HitBytes:        64,
+	FillBytes:       64,
+	VictimReadBytes: 64,
+	WBUpdateBytes:   64,
+}
+
+// NewTIS composes a Tags-In-SRAM cache holding `lines` data lines with the
 // given associativity.
 func NewTIS(name string, lines uint64, ways int, l4 *dram.Memory, mem *MainMemory, hooks Hooks) *TIS {
 	cfg := l4.Config()
@@ -98,86 +104,14 @@ func NewTIS(name string, lines uint64, ways int, l4 *dram.Memory, mem *MainMemor
 	if sets == 0 {
 		sets = 1
 	}
-	return &TIS{
-		name:     name,
+	c := &Controller{name: name, lay: tisLayout, l4: l4, mem: mem, hooks: hooks, wb: directWB{}}
+	c.tags = &sramTags{
+		c:        c,
 		tags:     sram.New(sets, ways),
 		ways:     uint64(ways),
 		channels: uint64(cfg.Channels),
 		banks:    uint64(cfg.Banks),
 		lpr:      uint64(cfg.RowBytes / 64),
-		l4:       l4,
-		mem:      mem,
-		hooks:    hooks,
 	}
+	return c
 }
-
-// Name implements Cache.
-func (c *TIS) Name() string { return c.name }
-
-// Stats implements Cache.
-func (c *TIS) Stats() *stats.L4 { return &c.st }
-
-// Contains implements Cache.
-func (c *TIS) Contains(line uint64) bool {
-	_, ok := c.tags.Lookup(line)
-	return ok
-}
-
-// Install implements Cache: a free functional fill used for pre-warming.
-func (c *TIS) Install(line uint64) {
-	if _, ok := c.tags.Lookup(line); !ok {
-		c.tags.Fill(line, false, 0)
-	}
-}
-
-// locateFrame maps a (set, way) data frame to DRAM coordinates.
-func (c *TIS) locateFrame(set uint64, way int) (ch, bk int, row uint64) {
-	unit := (set*c.ways + uint64(way)) / c.lpr
-	ch = int(unit % c.channels)
-	rest := unit / c.channels
-	bk = int(rest % c.banks)
-	row = rest / c.banks
-	return ch, bk, row
-}
-
-// Read implements Cache.
-func (c *TIS) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
-	set := c.tags.SetIndex(line)
-	if way, ok := c.tags.WayOf(line); ok {
-		c.tags.Access(line, false)
-		ch, bk, row := c.locateFrame(set, way)
-		x := c.getTxn()
-		x.now, x.done = now, done
-		c.l4.Read(now, ch, bk, row, 64, x.fnHit)
-		return
-	}
-
-	// Miss: tags answer instantly (idealised SRAM); memory fetch and fill.
-	way := c.tags.VictimWay(line)
-	ev := c.tags.Fill(line, false, 0)
-	ch, bk, row := c.locateFrame(set, way)
-	if ev.Valid && c.hooks.OnEvict != nil {
-		c.hooks.OnEvict(ev.Addr)
-	}
-	x := c.getTxn()
-	x.now, x.ch, x.bk, x.row, x.done = now, ch, bk, row, done
-	x.victimLine, x.victimValid, x.victimDirty = ev.Addr, ev.Valid, ev.Dirty
-	c.mem.ReadLine(now, line, x.fnMiss)
-}
-
-// Writeback implements Cache.
-func (c *TIS) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
-	set := c.tags.SetIndex(line)
-	if way, ok := c.tags.WayOf(line); ok {
-		c.tags.SetDirty(line)
-		c.st.WBHits++
-		ch, bk, row := c.locateFrame(set, way)
-		c.st.AddBytes(stats.WBUpdate, 64)
-		c.l4.Write(now, ch, bk, row, 64)
-		return
-	}
-	c.st.WBMisses++
-	c.mem.WriteLine(now, line)
-}
-
-var _ Cache = (*TIS)(nil)

@@ -1,0 +1,72 @@
+package dramcache
+
+import "bear/internal/core"
+
+// updFill is the update-bypass fill policy in the style of Young & Qureshi
+// ("To Update or Not To Update?"): replacement/secondary state is too
+// expensive to maintain in DRAM, so only a small sample of sets pays the
+// in-DRAM status-bit write on first reuse, and only those sampled sets
+// train the dead-block predictor. Non-sampled sets ride on the sampled
+// sets' learned policy for free — the bypass decision still applies
+// everywhere, but the ReplUpdate bandwidth category shrinks by ~the
+// sampling factor.
+//
+// The policy is registered as ablation `abl-upd` and exists to demonstrate
+// that a new design drops into the layered controller as pure policy
+// composition: no transaction type, no tag store, no dispatch code.
+type updFill struct {
+	d      *core.DeadBlock
+	sig    []uint16 // per-set signature of the installing fill
+	reused []uint64 // bitset: line reused since fill (tracked in all sets)
+	mask   uint64   // set is sampled when set&mask == 0
+}
+
+// newUpdFill samples one in 64 sets (deterministic, so runs are
+// reproducible regardless of scale).
+func newUpdFill(d *core.DeadBlock, sets uint64) *updFill {
+	return &updFill{
+		d:      d,
+		sig:    make([]uint16, sets),
+		reused: make([]uint64, (sets+63)/64),
+		mask:   63,
+	}
+}
+
+func (f *updFill) sampled(set uint64) bool { return set&f.mask == 0 }
+
+func (f *updFill) isReused(set uint64) bool { return f.reused[set/64]&(1<<(set%64)) != 0 }
+func (f *updFill) setReused(set uint64, v bool) {
+	if v {
+		f.reused[set/64] |= 1 << (set % 64)
+	} else {
+		f.reused[set/64] &^= 1 << (set % 64)
+	}
+}
+
+func (f *updFill) RecordAccess(uint64, bool) {}
+
+// ShouldBypass applies the learned dead-block decision to every set.
+func (f *updFill) ShouldBypass(_, pc uint64) bool {
+	return f.d.PredictDead(f.d.Signature(pc))
+}
+
+// OnHit marks the first reuse; only sampled sets pay the in-DRAM
+// status-bit update — the bandwidth saving that is this policy's point.
+func (f *updFill) OnHit(set uint64) bool {
+	if f.isReused(set) {
+		return false
+	}
+	f.setReused(set, true)
+	return f.sampled(set)
+}
+
+// OnFill trains the predictor from sampled sets only (non-sampled reuse
+// bits are architecturally stale — they were never written back — so
+// training on them would be cheating).
+func (f *updFill) OnFill(set, pc uint64, hadVictim bool) {
+	if hadVictim && f.sampled(set) {
+		f.d.Train(f.sig[set], f.isReused(set))
+	}
+	f.sig[set] = f.d.Signature(pc)
+	f.setReused(set, false)
+}

@@ -341,4 +341,46 @@ func init() {
 			return nil
 		},
 	})
+
+	register(Experiment{
+		ID:       "abl-upd",
+		Artifact: "Ablation",
+		Title:    "Update-bypass of replacement state (Young & Qureshi-style sampling)",
+		About:    "Dead-block bypassing pays an in-DRAM reuse-bit write per first reuse; sampling the updates to 1-in-64 sets keeps the bypass decision while shrinking the StatusUpd bandwidth category",
+		Run: func(p Params, w io.Writer, r *Runner) error {
+			t := newTable("Policy", "Speedup-vs-Alloy", "HitRate", "Bloat", "StatusUpd")
+			configs := []struct {
+				name   string
+				bypass config.BypassPolicy
+			}{
+				{"fill-always", config.FillAlways},
+				{"dead-block", config.DeadBlockBypass},
+				{"update-bypass", config.UpdateBypass},
+			}
+			variants := make([]spec, len(configs))
+			for i, c := range configs {
+				s := baseSpec(config.Alloy)
+				s.bypass = c.bypass
+				variants[i] = s
+			}
+			r.PrefetchRate(variants, ablationWorkloads)
+			for i, c := range configs {
+				g, err := ablSpeedups(r, variants[i], specAlloy)
+				if err != nil {
+					return err
+				}
+				a, err := ablAgg(r, variants[i])
+				if err != nil {
+					return err
+				}
+				l := &a.l4
+				t.row(c.name, f3(g), pct(l.HitRate()), f2(l.BloatFactor()),
+					f2(l.CategoryFactor(stats.ReplUpdate)))
+			}
+			t.write(w)
+			fmt.Fprintln(w, "\nExpected: update-bypass keeps dead-block's fill filtering but pays")
+			fmt.Fprintln(w, "the reuse-status write only in sampled sets, shrinking StatusUpd ~64x.")
+			return nil
+		},
+	})
 }

@@ -220,7 +220,7 @@ func (r *Runner) Count() int {
 	return r.count
 }
 
-func (r *Runner) progress(format string, args ...interface{}) {
+func (r *Runner) progress(format string, args ...any) {
 	if r.Log == nil {
 		return
 	}

@@ -14,7 +14,7 @@ type table struct {
 
 func newTable(cols ...string) *table { return &table{header: cols} }
 
-func (t *table) row(cells ...interface{}) {
+func (t *table) row(cells ...any) {
 	out := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {

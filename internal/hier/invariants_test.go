@@ -8,6 +8,24 @@ import (
 	"bear/internal/trace"
 )
 
+// assertNoTxnLeak checks the transaction-pool leak invariant: once a sim's
+// event queue has drained, the shared engine must have recovered every
+// outstanding transaction (catches lost txns on bypass/squash paths).
+// Run stops at the last core's retirement with events still in flight — and
+// cores keep issuing forever to sustain load — so every core is halted first
+// and the queue then drained to empty (results were already snapshotted by
+// Run).
+func assertNoTxnLeak(t *testing.T, sim *Sim, label any) {
+	t.Helper()
+	for _, c := range sim.Cores {
+		c.Halt()
+	}
+	sim.Q.Run(func() bool { return false })
+	if n := sim.Bundle.Cache.OutstandingTxns(); n != 0 {
+		t.Errorf("%v: %d transactions leaked from the pool", label, n)
+	}
+}
+
 // TestCrossDesignInvariants runs every design over the same small workload
 // and asserts the structural relations the paper's analysis relies on.
 func TestCrossDesignInvariants(t *testing.T) {
@@ -34,6 +52,7 @@ func TestCrossDesignInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", d, err)
 		}
+		assertNoTxnLeak(t, sim, d)
 		results[d] = outcome{run: r}
 	}
 
@@ -104,6 +123,7 @@ func TestWarmBoundaryResetsStats(t *testing.T) {
 	if sim.MarkTime == 0 {
 		t.Fatal("warm boundary never fired")
 	}
+	assertNoTxnLeak(t, sim, "warm-boundary")
 	if r.Cycles == 0 {
 		t.Fatal("no measured cycles")
 	}
@@ -127,4 +147,5 @@ func TestStoreOnlyWorkload(t *testing.T) {
 	if r.L4.WBHits+r.L4.WBMisses == 0 {
 		t.Fatal("no writebacks reached the L4")
 	}
+	assertNoTxnLeak(t, sim, "store-only")
 }

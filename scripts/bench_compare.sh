@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench_compare.sh — diff the two newest BENCH_<n>.json snapshots at the
+# repository root, printing per-benchmark ns/instr and allocs/instr deltas.
+# Positive percentages are regressions (the newer snapshot is slower).
+#
+#   make bench-compare
+#   scripts/bench_compare.sh BENCH_1.json BENCH_3.json   # explicit pair
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ $# -eq 2 ]; then
+	old=$1
+	new=$2
+else
+	old=""
+	new=""
+	n=1
+	while [ -e "BENCH_${n}.json" ]; do
+		old=$new
+		new="BENCH_${n}.json"
+		n=$((n + 1))
+	done
+	if [ -z "$old" ]; then
+		echo "bench_compare.sh: need at least two BENCH_<n>.json snapshots" >&2
+		exit 1
+	fi
+fi
+
+echo "comparing $old -> $new"
+
+# The snapshots are one-benchmark-per-line JSON written by bench.sh, so a
+# line-oriented parse is reliable without a JSON tool in the image.
+parse() {
+	sed -n 's/.*"name": *"\([^"]*\)", *"ns_per_instr": *\([0-9.eE+-]*\), *"allocs_per_instr": *\([0-9.eE+-]*\).*/\1 \2 \3/p' "$1"
+}
+
+parse "$old" >/tmp/bench_old.$$
+parse "$new" >/tmp/bench_new.$$
+trap 'rm -f /tmp/bench_old.$$ /tmp/bench_new.$$' EXIT
+
+awk 'NR == FNR { ns[$1] = $2; al[$1] = $3; next }
+{
+	if (!($1 in ns)) { printf "%-12s only in newer snapshot\n", $1; next }
+	dns = ($2 - ns[$1]) / ns[$1] * 100
+	printf "%-12s ns/instr %8.1f -> %8.1f  (%+6.1f%%)   allocs/instr %.2e -> %.2e\n", \
+		$1, ns[$1], $2, dns, al[$1], $3
+	if (dns > 5) bad = 1
+}
+END { exit bad }' /tmp/bench_old.$$ /tmp/bench_new.$$

@@ -9,9 +9,20 @@ set -eux
 
 cd "$(dirname "$0")/.."
 
+# gofmt is a hard gate: a non-empty file list is a diff the author forgot
+# to format.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
-go test -race ./...
+# -shuffle=on randomises test order within each package, flushing out
+# tests that silently depend on a predecessor's side effects.
+go test -race -shuffle=on ./...
 
 # bench-smoke: compile and run every benchmark exactly once. This keeps the
 # perf harness (simbench_test.go and friends) from bit-rotting without
