@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-snapshot bench-compare ci
+.PHONY: all build test race vet lint bench bench-smoke bench-snapshot bench-compare ci
 
 all: build
 
@@ -20,6 +20,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs simlint, the repository's own static analyzer: determinism
+# (wall clock / math/rand / os.Getenv / map-order folds / stray goroutines),
+# //bear:hotpath alloc-freedom, pool discipline and engine contracts. See
+# ARCHITECTURE.md "Enforced invariants" for the rule catalogue.
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -40,4 +47,4 @@ bench-snapshot:
 bench-compare:
 	scripts/bench_compare.sh
 
-ci: vet build race bench-smoke
+ci: vet lint build race bench-smoke

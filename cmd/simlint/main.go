@@ -1,0 +1,122 @@
+// Command simlint is the repository's static analyzer: it enforces the
+// determinism, hot-path alloc-freedom, pool-discipline and engine-contract
+// invariants described in ARCHITECTURE.md ("Enforced invariants"), using
+// only the Go standard library.
+//
+// Usage:
+//
+//	simlint [./...]
+//	simlint ./internal/dram ./internal/event
+//
+// With "./..." (the default) every package under the module is analyzed.
+// Diagnostics print as file:line:col: rule: message; the exit status is 1
+// when any diagnostic is reported. Suppress a finding with a trailing
+// `//bear:nolint <rule> — reason` comment.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bear/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	root, module, err := findModule()
+	if err != nil {
+		return err
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, arg := range args {
+		if strings.HasSuffix(arg, "...") {
+			base := filepath.Join(root, strings.TrimSuffix(strings.TrimSuffix(arg, "..."), "/"))
+			sub, err := lint.FindPackageDirs(base)
+			if err != nil {
+				return err
+			}
+			dirs = append(dirs, sub...)
+			continue
+		}
+		dirs = append(dirs, filepath.Join(root, arg))
+	}
+
+	prog, err := lint.Load(module, root, dirs)
+	if err != nil {
+		return err
+	}
+	diags := prog.Run(repoConfig(module))
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// repoConfig scopes the rule families for this repository:
+//
+//   - determinism rules cover every internal/ simulation package; the lint
+//     package itself is infrastructure, and cmd/examples are drivers that
+//     legitimately read wall-clock time for progress reporting;
+//   - goroutines are allowed only in internal/exp (the worker-pool layer);
+//   - the map-iteration rule applies everywhere, because map-ordered output
+//     from a driver is as nondeterministic as from a model.
+func repoConfig(module string) lint.Config {
+	internal := module + "/internal/"
+	return lint.Config{
+		Determinism: func(path string) bool {
+			return strings.HasPrefix(path, internal) && path != internal+"lint"
+		},
+		AllowGo: func(path string) bool {
+			return path == internal+"exp"
+		},
+		MapRange: func(path string) bool { return true },
+	}
+}
+
+// findModule locates go.mod upward from the working directory and returns
+// the module root and path.
+func findModule() (root, module string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if f, err := os.Open(gomod); err == nil {
+			defer f.Close()
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				if m, ok := strings.CutPrefix(strings.TrimSpace(sc.Text()), "module "); ok {
+					return dir, strings.TrimSpace(m), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("go.mod not found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -144,6 +144,8 @@ type doneToken struct {
 
 // complete marks the load issued as instruction idx finished and resumes the
 // core.
+//
+//bear:hotpath
 func (d *doneToken) complete(now uint64) {
 	c, idx := d.c, d.idx
 	c.putToken(d)
@@ -212,6 +214,7 @@ func New(id int, cfg config.Core, q *event.Queue, src trace.Source, port MemPort
 	return c
 }
 
+//bear:acquire
 func (c *Core) getToken(idx uint64) *doneToken {
 	d := c.tokens
 	if d == nil {
@@ -277,12 +280,14 @@ func (c *Core) Halt() { c.halted = true }
 // instructions are not counted): rate-mode measurement ends when the
 // slowest core completes its budget, and the fast cores must keep loading
 // the shared memory system until then so contention stays realistic.
+//
+//bear:hotpath
 func (c *Core) run(now uint64) {
 	if c.running {
 		return
 	}
 	c.running = true
-	defer func() { c.running = false }()
+	defer c.endRun()
 
 	if c.time < now {
 		c.time = now
@@ -360,6 +365,11 @@ func (c *Core) run(now uint64) {
 		}
 	}
 }
+
+// endRun clears the reentrancy guard when run unwinds. A method value
+// deferred directly stays off the heap; the equivalent closure allocated
+// once per run invocation.
+func (c *Core) endRun() { c.running = false }
 
 // popCompleted releases finished loads in program order.
 func (c *Core) popCompleted() {

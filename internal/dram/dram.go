@@ -182,6 +182,8 @@ func (m *Memory) Config() config.DRAM { return m.cfg }
 
 // get returns a pooled request, allocating (and binding its completion
 // callback) only when the freelist is empty.
+//
+//bear:acquire
 func (m *Memory) get() *Request {
 	r := m.free
 	if r == nil {
@@ -206,6 +208,8 @@ func (m *Memory) put(r *Request) {
 
 // Enqueue submits a request. Reads invoke r.OnComplete at data return;
 // writes complete silently (posted) but still consume bank and bus time.
+//
+//bear:hotpath
 func (m *Memory) Enqueue(now uint64, r *Request) {
 	if r.Channel < 0 || r.Channel >= m.cfg.Channels {
 		panic(fmt.Sprintf("dram %s: channel %d out of range", m.Name, r.Channel))
@@ -237,6 +241,8 @@ func (m *Memory) Enqueue(now uint64, r *Request) {
 }
 
 // Read submits a pooled read transaction.
+//
+//bear:hotpath
 func (m *Memory) Read(now uint64, ch, bk int, row uint64, bytes int, done event.Func) {
 	r := m.get()
 	r.Channel, r.Bank, r.Row, r.Bytes, r.Write, r.OnComplete = ch, bk, row, bytes, false, done
@@ -244,6 +250,8 @@ func (m *Memory) Read(now uint64, ch, bk int, row uint64, bytes int, done event.
 }
 
 // Write submits a pooled posted write transaction.
+//
+//bear:hotpath
 func (m *Memory) Write(now uint64, ch, bk int, row uint64, bytes int) {
 	r := m.get()
 	r.Channel, r.Bank, r.Row, r.Bytes, r.Write, r.OnComplete = ch, bk, row, bytes, true, nil
@@ -269,6 +277,8 @@ const scanLimit = 16
 // request per bank may be in flight at once: the data bus serialises bursts,
 // but bank activations and precharges overlap across banks, which is where
 // DRAM bank-level parallelism comes from.
+//
+//bear:hotpath
 func (m *Memory) kick(now uint64, c *channel) {
 	for c.committed < m.cfg.Banks {
 		// Update write-drain mode (watermark hysteresis).
@@ -407,6 +417,8 @@ func (m *Memory) commit(now uint64, c *channel, r *Request, start uint64, rowHit
 // scheduling it allocates nothing. It retires the request's statistics,
 // recycles the request, delivers the caller's callback, and re-kicks the
 // scheduler — in exactly that order, which the determinism tests pin down.
+//
+//bear:hotpath
 func (r *Request) complete(t uint64) {
 	m := r.m
 	c := m.ch[r.Channel]

@@ -183,6 +183,7 @@ type txn struct {
 	next                                    *txn
 }
 
+//bear:acquire
 func (c *Controller) getTxn() *txn {
 	x := c.txnFree
 	if x == nil {
@@ -227,6 +228,8 @@ func (c *Controller) l4Write(at uint64, loc Location, bytes int) {
 
 // onHitTag completes a chained tag read; the data line follows from the
 // now-open row (Loh-Hill hits).
+//
+//bear:hotpath
 func (x *txn) onHitTag(t uint64) {
 	c := x.c
 	c.st.AddBytes(stats.HitProbe, c.lay.TagBytes)
@@ -235,6 +238,8 @@ func (x *txn) onHitTag(t uint64) {
 
 // onHit completes a hit's probe: the probe is the useful data transfer.
 // The replacement-state write-back follows when the policy asked for one.
+//
+//bear:hotpath
 func (x *txn) onHit(t uint64) {
 	c := x.c
 	c.st.AddBytes(stats.HitProbe, c.lay.HitBytes)
@@ -250,6 +255,8 @@ func (x *txn) onHit(t uint64) {
 
 // fillAt charges the Miss Fill write (and the dirty victim's recovery) when
 // the data arrives from main memory.
+//
+//bear:hotpath
 func (x *txn) fillAt(t uint64) {
 	if !x.filled {
 		return
@@ -270,6 +277,8 @@ func (x *txn) fillAt(t uint64) {
 }
 
 // finish retires a miss and recycles the transaction.
+//
+//bear:hotpath
 func (x *txn) finish(t uint64) {
 	c := x.c
 	c.st.Miss(t - x.now)
@@ -279,6 +288,8 @@ func (x *txn) finish(t uint64) {
 }
 
 // onMissMem completes the probe-skipped miss (memory only).
+//
+//bear:hotpath
 func (x *txn) onMissMem(t uint64) {
 	x.fillAt(t)
 	x.finish(t)
@@ -287,6 +298,8 @@ func (x *txn) onMissMem(t uint64) {
 // both gates the parallel path: probe and memory proceed concurrently; data
 // is usable when both the miss is confirmed and the line has arrived. Events
 // fire in time order, so the second completion carries max(Tp, Tm).
+//
+//bear:hotpath
 func (x *txn) both(t uint64) {
 	x.pendingBoth--
 	if x.pendingBoth == 0 {
@@ -294,11 +307,13 @@ func (x *txn) both(t uint64) {
 	}
 }
 
+//bear:hotpath
 func (x *txn) onBothProbe(t uint64) {
 	x.c.st.AddBytes(stats.MissProbe, x.c.lay.MissProbeBytes)
 	x.both(t)
 }
 
+//bear:hotpath
 func (x *txn) onBothMem(t uint64) {
 	x.fillAt(t)
 	x.both(t)
@@ -306,11 +321,14 @@ func (x *txn) onBothMem(t uint64) {
 
 // onSerialProbe is the predicted-hit miss: memory starts only after the
 // probe detects the miss (the serialisation penalty MAP-I exists to avoid).
+//
+//bear:hotpath
 func (x *txn) onSerialProbe(t uint64) {
 	x.c.st.AddBytes(stats.MissProbe, x.c.lay.MissProbeBytes)
 	x.c.mem.ReadLine(t, x.line, x.fnSerialMem)
 }
 
+//bear:hotpath
 func (x *txn) onSerialMem(t uint64) {
 	x.fillAt(t)
 	x.finish(t)
@@ -318,6 +336,8 @@ func (x *txn) onSerialMem(t uint64) {
 
 // onWBProbe resolves a writeback whose presence was unknown: the probe has
 // completed and the update, fill or memory forward follows.
+//
+//bear:hotpath
 func (x *txn) onWBProbe(t uint64) {
 	c := x.c
 	c.st.AddBytes(stats.WBProbe, c.lay.WBProbeBytes)
@@ -370,6 +390,8 @@ func (c *Controller) Install(line uint64) {
 // Read implements Cache. See the package comment for the functional-at-
 // issue convention: tag state and policy decisions are resolved here, and
 // timed DRAM transactions deliver bandwidth/latency effects.
+//
+//bear:hotpath
 func (c *Controller) Read(now uint64, coreID int, line, pc uint64, done func(uint64, ReadResult)) {
 	if c.tags == nil {
 		// No L4: every LLC miss goes straight to main memory.
@@ -478,6 +500,8 @@ func (c *Controller) Read(now uint64, coreID int, line, pc uint64, done func(uin
 }
 
 // Writeback implements Cache.
+//
+//bear:hotpath
 func (c *Controller) Writeback(now uint64, coreID int, line uint64, pres core.Presence) {
 	if c.tags == nil {
 		c.st.WBMisses++

@@ -108,7 +108,7 @@ func (m *MissMap) Count() int {
 	for seg := range m.frames {
 		vec := m.bits[m.frames[seg]]
 		for ; vec != 0; vec &= vec - 1 {
-			n++
+			n++ //bear:nolint maprange — integer popcount; addition order cannot change the sum
 		}
 	}
 	return n

@@ -48,6 +48,8 @@ func (q *Queue) Now() uint64 { return q.now }
 
 // At schedules fn to run at cycle at. Scheduling in the past is a programming
 // error and panics, because it would silently corrupt causality.
+//
+//bear:hotpath
 func (q *Queue) At(at uint64, fn Func) {
 	if at < q.now {
 		panic("event: scheduled in the past")
@@ -58,6 +60,8 @@ func (q *Queue) At(at uint64, fn Func) {
 }
 
 // After schedules fn to run delay cycles from now.
+//
+//bear:hotpath
 func (q *Queue) After(delay uint64, fn Func) {
 	q.At(q.now+delay, fn)
 }
@@ -123,6 +127,8 @@ func (q *Queue) down(it item) {
 
 // Step runs the earliest pending event and returns true, or returns false if
 // the queue is empty.
+//
+//bear:hotpath
 func (q *Queue) Step() bool {
 	n := len(q.h)
 	if n == 0 {

@@ -56,6 +56,8 @@ type waiter struct {
 
 // onFill is the L4 read-completion callback: it installs the line, services
 // every merged waiter, and recycles the entry.
+//
+//bear:hotpath
 func (e *missEntry) onFill(t uint64, res dramcache.ReadResult) {
 	h := e.h
 	delete(h.pending, e.line)
@@ -89,6 +91,8 @@ type Hierarchy struct {
 
 // getMiss returns a pooled miss entry for line, allocating (and binding its
 // fill callback) only when the freelist is empty.
+//
+//bear:acquire
 func (h *Hierarchy) getMiss(line uint64, coreID int, store bool) *missEntry {
 	e := h.missFree
 	if e == nil {
@@ -175,6 +179,8 @@ func (h *Hierarchy) onBackInvalidate(line uint64) bool {
 }
 
 // Load implements cpu.MemPort.
+//
+//bear:hotpath
 func (h *Hierarchy) Load(now uint64, coreID int, line, pc uint64, done event.Func) (uint64, bool) {
 	h.Counters.L1Accesses++
 	if h.l1[coreID].Access(line, false) {
@@ -202,6 +208,8 @@ func (h *Hierarchy) Load(now uint64, coreID int, line, pc uint64, done event.Fun
 // Store implements cpu.MemPort. Stores are posted: they allocate through
 // the hierarchy (write-allocate) and mark the L1 copy dirty, but never
 // block the core.
+//
+//bear:hotpath
 func (h *Hierarchy) Store(now uint64, coreID int, line, pc uint64) {
 	h.Counters.L1Accesses++
 	if h.l1[coreID].Access(line, true) {
@@ -227,6 +235,8 @@ func (h *Hierarchy) Store(now uint64, coreID int, line, pc uint64) {
 
 // miss handles an L3 miss with MSHR merging: concurrent requests for the
 // same line share one L4 access.
+//
+//bear:hotpath
 func (h *Hierarchy) miss(now uint64, coreID int, line, pc uint64, store bool, done event.Func) {
 	if e, ok := h.pending[line]; ok {
 		h.Counters.MSHRMerges++

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkDeterminism enforces the reproducible-timing contract:
+//
+//   - no wall-clock reads (time.Now / time.Since), ambient randomness
+//     (math/rand) or environment reads (os.Getenv) in simulation packages —
+//     seeds come from internal/config and randomness from internal/rng;
+//   - no goroutines outside the sanctioned concurrency layer;
+//   - no map iteration whose body feeds an order-sensitive sink (an outer
+//     accumulator, an outer slice append, or a print/format call) unless
+//     the loop only collects keys that are subsequently sorted. This is the
+//     exact bug class PR 1 fixed in allGeomean: folding map values in
+//     random iteration order made the reported geomean fluctuate between
+//     byte-identical simulations.
+func (p *Program) checkDeterminism(pkg *Package, cfg Config, report reporter) {
+	det := cfg.determinism(pkg.Path)
+	for _, file := range pkg.Files {
+		if det {
+			for _, imp := range file.Imports {
+				switch imp.Path.Value {
+				case `"math/rand"`, `"math/rand/v2"`:
+					report(pkg, RuleDeterminism, imp.Pos(),
+						"import of %s in a simulation package; derive randomness from internal/rng so runs are reproducible", imp.Path.Value)
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if det && !cfg.allowGo(pkg.Path) {
+					report(pkg, RuleGoroutine, n.Pos(),
+						"go statement in a simulation package; internal/exp is the only sanctioned concurrency layer")
+				}
+			case *ast.SelectorExpr:
+				if det {
+					checkForbiddenRef(pkg, n, report)
+				}
+			case *ast.RangeStmt:
+				if cfg.mapRange(pkg.Path) {
+					p.checkMapRange(pkg, n, file, report)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// forbiddenRefs maps (package, name) to the sanctioned replacement.
+var forbiddenRefs = map[[2]string]string{
+	{"time", "Now"}:   "simulated cycles come from the event queue",
+	{"time", "Since"}: "simulated cycles come from the event queue",
+	{"os", "Getenv"}:  "configuration must flow through internal/config",
+}
+
+func checkForbiddenRef(pkg *Package, sel *ast.SelectorExpr, report reporter) {
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	if why, bad := forbiddenRefs[[2]string{obj.Pkg().Path(), obj.Name()}]; bad {
+		report(pkg, RuleDeterminism, sel.Pos(),
+			"%s.%s in a simulation package; %s", obj.Pkg().Name(), obj.Name(), why)
+	}
+}
+
+// checkMapRange flags `range m` over a map whose body reaches an
+// order-sensitive sink. The sanctioned escape is collecting the keys (or
+// values) into a slice that is later sorted in the same function.
+func (p *Program) checkMapRange(pkg *Package, rng *ast.RangeStmt, file *ast.File, report reporter) {
+	t := pkg.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if p.isSortedCollection(pkg, rng, file) {
+		return
+	}
+
+	outer := func(id *ast.Ident) bool {
+		obj := pkg.Info.Uses[id]
+		if obj == nil {
+			obj = pkg.Info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pos() == token.NoPos {
+			return false
+		}
+		return v.Pos() < rng.Pos() || v.Pos() > rng.End()
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				root := rootIdent(lhs)
+				if root == nil || !outer(root) {
+					continue
+				}
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); !isIdent {
+					// Keyed stores (m2[k] = v, s.field through an outer
+					// struct) are order-independent per element; only bare
+					// variable accumulation is order-sensitive.
+					if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+						continue
+					}
+					report(pkg, RuleMapRange, n.Pos(),
+						"map iteration accumulates into %s with %s; fold in a fixed order (sort the keys first)", root.Name, n.Tok)
+					continue
+				}
+				switch {
+				case n.Tok != token.ASSIGN && n.Tok != token.DEFINE:
+					report(pkg, RuleMapRange, n.Pos(),
+						"map iteration accumulates into %s with %s; fold in a fixed order (sort the keys first)", root.Name, n.Tok)
+				case i < len(n.Rhs) && isAppendTo(pkg.Info, n.Rhs[i], root):
+					report(pkg, RuleMapRange, n.Pos(),
+						"map iteration appends to %s in map order; collect and sort the keys first", root.Name)
+				case n.Tok == token.ASSIGN:
+					report(pkg, RuleMapRange, n.Pos(),
+						"map iteration assigns %s in map order; the surviving value depends on iteration order", root.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if root := rootIdent(n.X); root != nil && outer(root) {
+				if _, isIdent := ast.Unparen(n.X).(*ast.Ident); isIdent {
+					report(pkg, RuleMapRange, n.Pos(),
+						"map iteration accumulates into %s with %s; fold in a fixed order (sort the keys first)", root.Name, n.Tok)
+				}
+			}
+		case *ast.CallExpr:
+			if isPrintCall(pkg.Info, n) {
+				report(pkg, RuleMapRange, n.Pos(),
+					"map iteration formats output in map order; collect and sort the keys first")
+			}
+		}
+		return true
+	})
+}
+
+// isAppendTo reports whether expr is append(dst, ...) for the same dst.
+func isAppendTo(info *types.Info, expr ast.Expr, dst *ast.Ident) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || builtinName(info, call) != "append" || len(call.Args) == 0 {
+		return false
+	}
+	root := rootIdent(call.Args[0])
+	return root != nil && info.Uses[root] != nil && info.Uses[root] == info.Uses[dst]
+}
+
+// isPrintCall reports whether call formats or prints (fmt.*, builtin
+// print/println): the classic way map order escapes into output.
+func isPrintCall(info *types.Info, call *ast.CallExpr) bool {
+	if b := builtinName(info, call); b == "print" || b == "println" {
+		return true
+	}
+	fn := funcFor(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt"
+}
+
+// isSortedCollection reports whether rng only collects values into outer
+// slices — directly or under if conditions — each of which is sorted (a
+// call into sort or slices mentioning it) after the loop in the same
+// enclosing function.
+func (p *Program) isSortedCollection(pkg *Package, rng *ast.RangeStmt, file *ast.File) bool {
+	var collected []*ast.Ident
+	var collectOnly func(stmts []ast.Stmt) bool
+	collectOnly = func(stmts []ast.Stmt) bool {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+					return false
+				}
+				dst, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+				if !ok || !isAppendTo(pkg.Info, s.Rhs[0], dst) {
+					return false
+				}
+				collected = append(collected, dst)
+			case *ast.IfStmt:
+				if s.Init != nil || !collectOnly(s.Body.List) {
+					return false
+				}
+				switch e := s.Else.(type) {
+				case nil:
+				case *ast.BlockStmt:
+					if !collectOnly(e.List) {
+						return false
+					}
+				default:
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !collectOnly(rng.Body.List) {
+		return false
+	}
+	if len(collected) == 0 {
+		return false
+	}
+
+	// Find the enclosing function body to scan for a later sort call.
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		var b *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			b = fn.Body
+		case *ast.FuncLit:
+			b = fn.Body
+		}
+		if b != nil && b.Pos() <= rng.Pos() && rng.End() <= b.End() {
+			body = b // keep innermost
+		}
+		return true
+	})
+	if body == nil {
+		return false
+	}
+
+	for _, dst := range collected {
+		obj := pkg.Info.Uses[dst]
+		sorted := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < rng.End() {
+				return true
+			}
+			fn := funcFor(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if root := rootIdent(arg); root != nil && pkg.Info.Uses[root] == obj {
+					sorted = true
+				}
+			}
+			return true
+		})
+		if !sorted {
+			return false
+		}
+	}
+	return true
+}

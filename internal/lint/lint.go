@@ -1,0 +1,369 @@
+// Package lint implements simlint, the repository's static analyzer. It
+// enforces, at analysis time, the invariants the simulator's correctness
+// rests on and that earlier work established by hand:
+//
+//   - determinism: simulation packages must not read wall-clock time,
+//     ambient randomness or the environment, must not iterate maps into
+//     order-sensitive sinks, and must not spawn goroutines outside the
+//     sanctioned concurrency layer (internal/exp).
+//   - hot-path alloc-freedom: functions annotated //bear:hotpath must not
+//     contain allocating constructs (capturing closures, fmt/errors
+//     formatting, map literals, appends to function-local slices) and must
+//     not call project functions that transitively do.
+//   - pool discipline: objects obtained from sync.Pool.Get or from a
+//     //bear:acquire freelist getter must be released or handed off on
+//     every return path.
+//   - engine contracts: experiment registrations use unique string-literal
+//     ids, and Controller compositions that set a tag store also set a
+//     Layout.
+//
+// The analyzer is built on the standard library only (go/parser, go/ast,
+// go/types with go/importer's source mode); see cmd/simlint for the CLI and
+// ARCHITECTURE.md ("Enforced invariants") for the rule catalogue, the
+// annotation grammar and the //bear:nolint escape hatch.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Rule names, used in diagnostics and matched by //bear:nolint comments.
+const (
+	RuleDeterminism = "determinism" // wall clock, ambient randomness, environment
+	RuleMapRange    = "maprange"    // map iteration into an order-sensitive sink
+	RuleGoroutine   = "goroutine"   // go statement outside the sanctioned layer
+	RuleHotPath     = "hotpath"     // allocation in a //bear:hotpath function
+	RulePool        = "pool"        // pooled object dropped on a return path
+	RuleDupID       = "dupid"       // duplicate or non-literal experiment id
+	RuleLayout      = "layout"      // Controller composition without a Layout
+)
+
+// Diagnostic is one finding, positioned for file:line reporting.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Config selects which rule families apply to which packages, keyed by
+// import path. The zero value applies every rule everywhere.
+type Config struct {
+	// Determinism gates the wall-clock/randomness/environment rules and the
+	// goroutine rule. Nil means every package.
+	Determinism func(pkgPath string) bool
+	// AllowGo exempts a package from the goroutine rule even when
+	// Determinism selects it (internal/exp, the worker-pool layer).
+	AllowGo func(pkgPath string) bool
+	// MapRange gates the map-iteration rule. Nil means every package.
+	MapRange func(pkgPath string) bool
+}
+
+func (c Config) determinism(path string) bool {
+	return c.Determinism == nil || c.Determinism(path)
+}
+
+func (c Config) allowGo(path string) bool {
+	return c.AllowGo != nil && c.AllowGo(path)
+}
+
+func (c Config) mapRange(path string) bool {
+	return c.MapRange == nil || c.MapRange(path)
+}
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// nolint maps file -> line -> suppressed rule set ("" suppresses all).
+	nolint map[string]map[int]map[string]bool
+}
+
+// Program is the full set of packages under analysis, sharing one FileSet
+// so cross-package positions compare and print uniformly.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Load parses and type-checks the packages in dirs. module is the import
+// path of root (the directory containing go.mod, or the fixture root);
+// each dir's import path is derived from its location under root.
+// Dependencies — standard library and project packages alike — are resolved
+// from source via go/importer, so nothing needs to be pre-compiled.
+func Load(module, root string, dirs []string) (*Program, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	prog := &Program{Fset: fset}
+
+	for _, dir := range dirs {
+		pkg, err := loadPackage(fset, imp, module, root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Pkgs = append(prog.Pkgs, pkg)
+		}
+	}
+	return prog, nil
+}
+
+func loadPackage(fset *token.FileSet, imp types.Importer, module, root, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	path, err := importPath(module, root, dir)
+	if err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var hard []error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok && te.Soft {
+				return // e.g. "declared and not used" in fixtures
+			}
+			hard = append(hard, err)
+		},
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(hard) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, hard[0])
+	}
+
+	return &Package{
+		Path:   path,
+		Dir:    dir,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		nolint: collectNolint(fset, files),
+	}, nil
+}
+
+func importPath(module, root, dir string) (string, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return module, nil
+	}
+	return module + "/" + filepath.ToSlash(rel), nil
+}
+
+// FindPackageDirs walks root collecting directories that contain non-test
+// Go files, skipping testdata, VCS metadata and hidden/underscore dirs.
+func FindPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			name := fi.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// Run applies every check family and returns the surviving diagnostics in
+// position order.
+func (p *Program) Run(cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pkg *Package, rule string, pos token.Pos, format string, args ...any) {
+		position := p.Fset.Position(pos)
+		if pkg.suppressed(position, rule) {
+			return
+		}
+		diags = append(diags, Diagnostic{Pos: position, Rule: rule, Message: fmt.Sprintf(format, args...)})
+	}
+
+	sums := p.summarize()
+	for _, pkg := range p.Pkgs {
+		p.checkDeterminism(pkg, cfg, report)
+		p.checkContracts(pkg, report)
+		p.checkPools(pkg, sums, report)
+	}
+	p.checkHotPaths(sums, report)
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// collectNolint gathers //bear:nolint comments. A comment suppresses the
+// named rules (comma-separated) on its own line and the line below, so it
+// can trail the flagged statement or sit on its own line above it:
+//
+//	//bear:nolint maprange — keys feed an order-insensitive set
+type collectT = map[string]map[int]map[string]bool
+
+func collectNolint(fset *token.FileSet, files []*ast.File) collectT {
+	out := collectT{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//bear:nolint")
+				if !ok {
+					continue
+				}
+				// Everything after an em/double dash is rationale.
+				for _, sep := range []string{"—", "--"} {
+					if i := strings.Index(text, sep); i >= 0 {
+						text = text[:i]
+					}
+				}
+				rules := map[string]bool{}
+				for _, r := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					rules[r] = true
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					out[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					for r := range rules {
+						byLine[line][r] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (pkg *Package) suppressed(pos token.Position, rule string) bool {
+	byLine := pkg.nolint[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][rule]
+}
+
+// reporter is the shared diagnostic sink passed to check families.
+type reporter func(pkg *Package, rule string, pos token.Pos, format string, args ...any)
+
+// funcFor returns the *types.Func a call expression statically resolves to,
+// or nil for builtins, conversions, function values and interface methods.
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		return nil // dynamic dispatch: unresolvable statically
+	}
+	return fn
+}
+
+// builtinName returns the name of the builtin a call invokes ("append",
+// "make", "panic", ...), or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// rootIdent returns the base identifier of expr after stripping selectors,
+// indexes, stars and parens: rootIdent(a.b[i].c) == a.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"bufio"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The fixture harness: every file under testdata/src carries
+// `// want "regex"` comments naming the diagnostics the analyzer must
+// produce on that line (matched against "rule: message"). Diagnostics
+// without a want, and wants without a diagnostic, both fail the test.
+
+// testConfig mirrors the repository config's shape: fix/exempt stands in
+// for driver packages (cmd/, examples/), fix/gook for the sanctioned
+// concurrency layer (internal/exp).
+func testConfig() Config {
+	return Config{
+		Determinism: func(p string) bool { return p != "fix/exempt" },
+		AllowGo:     func(p string) bool { return p == "fix/gook" },
+		MapRange:    func(p string) bool { return p != "fix/exempt" },
+	}
+}
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantArgRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+func TestFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	dirs, err := FindPackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load("fix", root, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := prog.Run(testConfig())
+	wants := collectWants(t, dirs)
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Rule + ": " + d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func collectWants(t *testing.T, dirs []string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(f)
+			for line := 1; sc.Scan(); line++ {
+				for _, m := range wantArgRe.FindAllStringSubmatch(sc.Text(), -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex %q: %v", path, line, m[1], err)
+					}
+					wants = append(wants, &expectation{
+						file: e.Name(), line: line, re: re, raw: m[1],
+					})
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("no want expectations found under testdata/src")
+	}
+	return wants
+}
+
+// TestNolintUnknownRuleStillSuppressesOnlyNamed pins the suppression
+// granularity: a nolint naming one rule must not swallow another family's
+// diagnostic on the same line. (The fixtures cover the positive direction.)
+func TestSuppressionIsRuleScoped(t *testing.T) {
+	pkg := &Package{nolint: collectT{
+		"f.go": {10: {"maprange": true}},
+	}}
+	pos := token.Position{Filename: "f.go", Line: 10}
+	if !pkg.suppressed(pos, "maprange") {
+		t.Error("maprange should be suppressed on f.go:10")
+	}
+	if pkg.suppressed(pos, "hotpath") {
+		t.Error("hotpath must not be suppressed by a maprange nolint")
+	}
+	if pkg.suppressed(token.Position{Filename: "f.go", Line: 11}, "maprange") {
+		t.Error("line 11 has no suppression entry of its own in this fixture")
+	}
+}

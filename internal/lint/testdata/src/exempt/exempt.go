@@ -1,0 +1,17 @@
+// Package exempt stands in for a driver package (cmd/, examples/): the test
+// config deselects it from the determinism and map-range families, so none
+// of these constructs are flagged.
+package exempt
+
+import (
+	"fmt"
+	"time"
+)
+
+func report(m map[string]int) {
+	start := time.Now()
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,12 @@
+// Package gook stands in for the sanctioned concurrency layer
+// (internal/exp): the test config's AllowGo selects it, so the go statement
+// is not flagged even though the determinism family applies.
+package gook
+
+func work(ch chan int) { ch <- 1 }
+
+func fan() int {
+	ch := make(chan int)
+	go work(ch)
+	return <-ch
+}

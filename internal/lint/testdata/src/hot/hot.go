@@ -1,0 +1,94 @@
+// Package hot exercises the //bear:hotpath alloc-freedom family: direct
+// allocating constructs, the panic exemption, the receiver-field append
+// allowance, non-capturing literals, and transitive reach through
+// unannotated project functions.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+type ring struct {
+	buf []int
+	n   int
+}
+
+// push shows the sanctioned append pattern: appending into a long-lived
+// object's field retains its capacity across calls.
+//
+//bear:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+	r.n++
+}
+
+//bear:hotpath
+func (r *ring) bad(v int) {
+	local := []int{}
+	local = append(local, v)   // want "hotpath: append to function-local slice local"
+	_ = fmt.Sprintf("v=%d", v) // want "hotpath: fmt.Sprintf"
+	_ = errors.New("boom")     // want "hotpath: errors.New"
+	m := map[int]bool{v: true} // want "hotpath: map literal"
+	_ = m
+	mm := make(map[int]int) // want "hotpath: make.map."
+	_ = mm
+	_ = local
+}
+
+//bear:hotpath
+func capture(v int) func() int {
+	return func() int { return v } // want "hotpath: function literal capturing v"
+}
+
+// nocapture: a literal that closes over nothing compiles to a static func.
+//
+//bear:hotpath
+func nocapture() func(int) int {
+	return func(x int) int { return x * 2 }
+}
+
+// guard: panic arguments are cold by definition.
+//
+//bear:hotpath
+func guard(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("negative: %d", v))
+	}
+}
+
+func slowHelper(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+//bear:hotpath
+func callsSlow(v int) {
+	_ = slowHelper(v) // want "hotpath: //bear:hotpath function callsSlow calls slowHelper, which allocates"
+}
+
+func mid(v int) string  { return deep(v) }
+func deep(v int) string { return fmt.Sprint(v) }
+
+//bear:hotpath
+func entry(v int) {
+	_ = mid(v) // want "hotpath: //bear:hotpath function entry calls mid -> deep, which allocates"
+}
+
+//bear:hotpath
+func fastHelper(v int) int { return v + 1 }
+
+// callsFast: annotated callees are trusted here and checked at their own
+// declaration.
+//
+//bear:hotpath
+func callsFast(v int) int {
+	return fastHelper(v)
+}
+
+// cleanHelper is unannotated but allocation-free; calling it is fine.
+func cleanHelper(v int) int { return v << 1 }
+
+//bear:hotpath
+func callsClean(v int) int {
+	return cleanHelper(v)
+}

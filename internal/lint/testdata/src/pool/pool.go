@@ -1,0 +1,97 @@
+// Package pool exercises the pool-discipline family: objects from
+// sync.Pool.Get or a //bear:acquire freelist getter must be released or
+// handed off on every return path.
+package pool
+
+import "sync"
+
+type obj struct {
+	next *obj
+	val  int
+}
+
+type mgr struct {
+	free  *obj
+	pool  sync.Pool
+	queue []*obj
+}
+
+// get pops the freelist, mirroring the repository's linked-list getters.
+//
+//bear:acquire
+func (m *mgr) get() *obj {
+	if m.free != nil {
+		o := m.free
+		m.free = o.next
+		return o
+	}
+	return &obj{}
+}
+
+func (m *mgr) put(o *obj) {
+	o.next = m.free
+	m.free = o
+}
+
+// release: passing the object to a call is a hand-off.
+func (m *mgr) release(v int) {
+	o := m.get()
+	o.val = v
+	m.put(o)
+}
+
+// enqueue: appending the object to a queue is a hand-off.
+func (m *mgr) enqueue(v int) {
+	o := m.get()
+	o.val = v
+	m.queue = append(m.queue, o)
+}
+
+// send: a channel send is a hand-off.
+func (m *mgr) send(ch chan *obj) {
+	o := m.get()
+	ch <- o
+}
+
+// deferred: a deferred release covers every path.
+func (m *mgr) deferred(v int) int {
+	o := m.get()
+	defer m.put(o)
+	return v * 2
+}
+
+// fromPool: returning the object hands it to the caller.
+func (m *mgr) fromPool() *obj {
+	o := m.pool.Get().(*obj)
+	return o
+}
+
+func (m *mgr) leak(v int) {
+	o := m.get()
+	o.val = v
+} // want "pool: pooled object o .from mgr.get. is dropped on end of function"
+
+func (m *mgr) condLeak(v int) {
+	o := m.get()
+	if v > 0 {
+		m.put(o)
+	}
+} // want "pool: pooled object o .from mgr.get. is dropped on end of function"
+
+func (m *mgr) earlyReturnLeak(v int) int {
+	o := m.get()
+	if v == 0 {
+		return -1 // want "pool: pooled object o .from mgr.get. is dropped on this return"
+	}
+	m.put(o)
+	return o.val
+}
+
+func (m *mgr) poolLeak() {
+	o := m.pool.Get().(*obj)
+	o.val++
+} // want "pool: pooled object o .from sync.Pool.Get. is dropped on end of function"
+
+func (m *mgr) dropped() {
+	m.get() // want "pool: result of mgr.get is dropped"
+}

@@ -2,6 +2,25 @@
 // generator used throughout the simulator. Every source of randomness in a
 // simulation (workload address streams, probabilistic bypass decisions) is
 // derived from an explicit seed so that runs are exactly reproducible.
+//
+// # Seeding contract
+//
+// The generator's output is part of the simulator's stable interface: the
+// golden experiment outputs (fig12, fig13, tab4) depend on the exact draw
+// sequence, so the algorithm (xorshift64*), the zero-seed remap constant
+// and the Fork derivation constant must not change without regenerating
+// every golden file. The contract, pinned by TestGoldenSequence:
+//
+//   - equal seeds produce equal sequences, on every platform and Go
+//     version (the implementation is pure integer arithmetic);
+//   - a zero seed is remapped to a fixed non-zero constant, never to
+//     something time- or address-derived;
+//   - Fork derives an independent stream from the parent's current state,
+//     deterministically — forking at the same point in the parent sequence
+//     always yields the same child sequence;
+//   - components must obtain randomness only through this package, never
+//     from math/rand or the wall clock (enforced by simlint's determinism
+//     rule; see ARCHITECTURE.md "Enforced invariants").
 package rng
 
 // Source is an xorshift64* generator. The zero value is not valid; use New.

@@ -101,6 +101,8 @@ func (c *Cache) rescale() {
 
 // Lookup checks for addr without changing replacement state. It returns the
 // line's metadata and whether it was present.
+//
+//bear:hotpath
 func (c *Cache) Lookup(addr uint64) (Line, bool) {
 	base := c.base(addr)
 	for w := 0; w < c.ways; w++ {
@@ -114,6 +116,8 @@ func (c *Cache) Lookup(addr uint64) (Line, bool) {
 
 // Access performs a demand access: on hit it refreshes LRU state, marks the
 // line dirty if write is set, and returns true.
+//
+//bear:hotpath
 func (c *Cache) Access(addr uint64, write bool) bool {
 	base := c.base(addr)
 	for w := 0; w < c.ways; w++ {
@@ -132,6 +136,8 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 // FillLRU installs addr like Fill but places it at the LRU position, so it
 // is the set's next victim unless promoted by a hit (bimodal/LIP insertion
 // policies).
+//
+//bear:hotpath
 func (c *Cache) FillLRU(addr uint64, dirty bool, aux uint8) Eviction {
 	ev := c.Fill(addr, dirty, aux)
 	base := c.base(addr)
@@ -178,6 +184,8 @@ func (c *Cache) FillLRU(addr uint64, dirty bool, aux uint8) Eviction {
 
 // Fill installs addr (which must not already be present), returning the
 // eviction it displaced. The filled line is made MRU.
+//
+//bear:hotpath
 func (c *Cache) Fill(addr uint64, dirty bool, aux uint8) Eviction {
 	base := c.base(addr)
 	victim := base

@@ -19,6 +19,10 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+# simlint enforces the simulator's own invariants (determinism, hot-path
+# alloc-freedom, pool discipline, engine contracts) before the expensive
+# race gate runs; see ARCHITECTURE.md "Enforced invariants".
+go run ./cmd/simlint ./...
 go build ./...
 # -shuffle=on randomises test order within each package, flushing out
 # tests that silently depend on a predecessor's side effects.
