@@ -115,6 +115,13 @@ type Config struct {
 
 	Cores int
 	Seed  uint64
+
+	// Check enables the simulation watchdog's invariant mode: cheap
+	// engine checks (transaction accounting, DRAM queue occupancy, MSHR
+	// accounting) run at fixed event epochs, and a post-run drain proves
+	// quiescence. Results are byte-identical with Check on or off; an
+	// unsound run fails with a typed error instead of returning numbers.
+	Check bool
 }
 
 // DefaultConfig returns a configuration that reproduces the paper's shapes
@@ -261,6 +268,7 @@ func (c Config) run(wl trace.Workload) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sim.Watchdog.Check = c.Check
 	r, err := sim.Run()
 	if err != nil {
 		return nil, err

@@ -12,6 +12,12 @@
 // Simulations fan out across -parallel workers (default GOMAXPROCS).
 // Every simulation is deterministic and results are collected in a fixed
 // order, so the output is byte-identical at any parallelism level.
+//
+// -resume DIR keeps an on-disk result store: completed simulations are
+// written there (atomically, checksummed) and restored on the next run,
+// so an interrupted sweep resumes where it crashed. -check enables the
+// engine invariant watchdog. Failed simulations do not stop a sweep; the
+// run summarises them on stderr and exits non-zero.
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"bear/internal/exp"
@@ -36,6 +44,8 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "override simulation seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial; output is identical either way)")
 		verbose  = flag.Bool("v", false, "log every simulation as it completes")
+		resume   = flag.String("resume", "", "directory of an on-disk result store; completed units are restored instead of re-simulated")
+		check    = flag.Bool("check", false, "run engine invariant checks each epoch and verify quiescence after every simulation")
 	)
 	flag.Parse()
 
@@ -70,6 +80,7 @@ func main() {
 	if *seed > 0 {
 		p.Seed = *seed
 	}
+	p.Watchdog.Check = *check
 
 	runner := exp.NewRunner(p)
 	if *parallel > 0 {
@@ -77,6 +88,14 @@ func main() {
 	}
 	if *verbose {
 		runner.Log = os.Stderr
+	}
+	if *resume != "" {
+		store, err := exp.OpenStore(*resume, p.Fingerprint(buildFingerprint()))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bearbench:", err)
+			os.Exit(1)
+		}
+		runner.Store = store
 	}
 
 	var todo []exp.Experiment
@@ -91,13 +110,52 @@ func main() {
 		todo = []exp.Experiment{e}
 	}
 
+	// Experiments run to completion even when one fails: a failed
+	// experiment is recorded, the rest still regenerate their artifacts,
+	// and the run exits non-zero with a failure summary.
+	var failedExps []string
 	for _, e := range todo {
 		start := time.Now()
 		fmt.Printf("\n### %s — %s\n### %s\n", e.Artifact, e.Title, e.About)
 		if err := e.Run(p, os.Stdout, runner); err != nil {
 			fmt.Fprintf(os.Stderr, "bearbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			failedExps = append(failedExps, e.ID)
+			continue
 		}
 		fmt.Printf("\n[%s done in %v, %d simulations so far]\n", e.ID, time.Since(start).Round(time.Millisecond), runner.Count())
 	}
+	if n := runner.Restored(); n > 0 {
+		fmt.Fprintf(os.Stderr, "bearbench: %d result(s) restored from %s\n", n, *resume)
+	}
+	runner.WriteFailureTable(os.Stderr)
+	if len(failedExps) > 0 {
+		fmt.Fprintf(os.Stderr, "bearbench: %d experiment(s) failed: %s\n", len(failedExps), strings.Join(failedExps, ", "))
+		os.Exit(1)
+	}
+}
+
+// buildFingerprint identifies the simulator build for the result store:
+// results cached by a different code version must not be trusted. Binaries
+// built inside the git checkout carry the VCS revision; anything else
+// (e.g. `go run` of a modified tree without VCS stamping) degrades to a
+// shared "dev" fingerprint.
+func buildFingerprint() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+		if rev != "" {
+			if modified == "true" {
+				return rev + "+dirty"
+			}
+			return rev
+		}
+	}
+	return "dev"
 }

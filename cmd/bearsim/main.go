@@ -3,7 +3,10 @@
 // -workload and -design accept comma-separated lists; bearsim simulates the
 // full cross product, fanning out across -parallel workers (default
 // GOMAXPROCS) and printing results in a deterministic order regardless of
-// which finishes first.
+// which finishes first. A unit that fails (including by panic) does not
+// stop the sweep: the remaining units run, the failures are summarised on
+// stderr, and the exit code is non-zero. -check enables the engine
+// invariant watchdog (identical results, unsound runs fail loudly).
 //
 // Usage:
 //
@@ -19,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -46,6 +50,7 @@ func main() {
 		capMB    = flag.Int64("capacity", 0, "override full-scale capacity in MB")
 		traces   = flag.String("trace", "", "glob of per-core trace files (see beartrace); replaces -workload")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations across the workload x design sweep")
+		check    = flag.Bool("check", false, "run engine invariant checks each epoch and verify quiescence after the run")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON (an array when sweeping)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -84,6 +89,7 @@ func main() {
 	cfg.L4Channels = *channels
 	cfg.L4Banks = *banks
 	cfg.CapacityMB = *capMB
+	cfg.Check = *check
 
 	if *traces != "" {
 		paths, err := filepath.Glob(*traces)
@@ -144,23 +150,47 @@ func main() {
 		go func() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Fault isolation: a panic in one unit fails that unit, not
+			// the sweep. The remaining units still run and print.
+			defer func() {
+				if v := recover(); v != nil {
+					errs[i] = fmt.Errorf("panic: %v\n%s", v, debug.Stack())
+				}
+				done <- i
+			}()
 			if n, isMix := mixIndex(j.workload); isMix {
 				results[i], errs[i] = bear.RunMix(j.cfg, n)
 			} else {
 				results[i], errs[i] = bear.RunRate(j.cfg, j.workload)
 			}
-			done <- i
 		}()
 	}
 	for range jobs {
 		<-done
 	}
-	for _, err := range errs {
-		if err != nil {
-			fail(err)
+
+	// Print the units that succeeded (in sweep order), then summarise the
+	// failures. The exit code reports sweep health: 0 only when every unit
+	// completed.
+	var completed []*bear.Result
+	failed := 0
+	for i := range jobs {
+		if errs[i] != nil {
+			failed++
+			continue
 		}
+		completed = append(completed, results[i])
 	}
-	emit(results, *asJSON)
+	emit(completed, *asJSON)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "\nbearsim: %d of %d units failed:\n", failed, len(jobs))
+		for i, j := range jobs {
+			if errs[i] != nil {
+				fmt.Fprintf(os.Stderr, "  FAIL %-10s %-10s %v\n", j.cfg.Design, j.workload, errs[i])
+			}
+		}
+		os.Exit(1)
+	}
 }
 
 func oneDesign(name string) (bear.Design, error) {

@@ -80,9 +80,17 @@ func run(args []string) error {
 //     legitimately read wall-clock time for progress reporting;
 //   - goroutines are allowed only in internal/exp (the worker-pool layer);
 //   - the map-iteration rule applies everywhere, because map-ordered output
-//     from a driver is as nondeterministic as from a model.
+//     from a driver is as nondeterministic as from a model;
+//   - the typed-invariant rule (no bare string panics) covers the engine
+//     packages whose panics cross the fault-isolation recover in
+//     internal/exp and must arrive classifiable.
 func repoConfig(module string) lint.Config {
 	internal := module + "/internal/"
+	engine := map[string]bool{
+		internal + "dram": true, internal + "sram": true,
+		internal + "cpu": true, internal + "hier": true,
+		internal + "dramcache": true,
+	}
 	return lint.Config{
 		Determinism: func(path string) bool {
 			return strings.HasPrefix(path, internal) && path != internal+"lint"
@@ -90,7 +98,8 @@ func repoConfig(module string) lint.Config {
 		AllowGo: func(path string) bool {
 			return path == internal+"exp"
 		},
-		MapRange: func(path string) bool { return true },
+		MapRange:       func(path string) bool { return true },
+		InvariantPanic: func(path string) bool { return engine[path] },
 	}
 }
 

@@ -19,6 +19,7 @@ package cpu
 import (
 	"bear/internal/config"
 	"bear/internal/event"
+	"bear/internal/fault"
 	"bear/internal/trace"
 )
 
@@ -235,6 +236,21 @@ func (c *Core) putToken(d *doneToken) {
 
 // Retired returns the instructions retired so far.
 func (c *Core) Retired() uint64 { return c.retired }
+
+// CheckMSHRs verifies the core's miss-status accounting, for the watchdog's
+// -check mode: live MSHR slots must stay within [0, MSHRs] and every live
+// slot must correspond to an entry still in the outstanding-load window.
+func (c *Core) CheckMSHRs() error {
+	if c.inflight < 0 || c.inflight > c.cfg.MSHRs {
+		return fault.Invariantf("cpu", "core %d: %d MSHRs in flight outside [0, %d]",
+			c.ID, c.inflight, c.cfg.MSHRs)
+	}
+	if c.inflight > c.outstanding.Len() {
+		return fault.Invariantf("cpu", "core %d: %d MSHRs in flight but only %d outstanding loads",
+			c.ID, c.inflight, c.outstanding.Len())
+	}
+	return nil
+}
 
 // MeasuredInstructions returns instructions retired after the warm boundary,
 // capped at the measurement budget (cores keep executing past the budget to

@@ -25,10 +25,9 @@
 package dram
 
 import (
-	"fmt"
-
 	"bear/internal/config"
 	"bear/internal/event"
+	"bear/internal/fault"
 )
 
 // Request describes one DRAM transaction. Channel/Bank/Row must be within
@@ -212,20 +211,20 @@ func (m *Memory) put(r *Request) {
 //bear:hotpath
 func (m *Memory) Enqueue(now uint64, r *Request) {
 	if r.Channel < 0 || r.Channel >= m.cfg.Channels {
-		panic(fmt.Sprintf("dram %s: channel %d out of range", m.Name, r.Channel))
+		panic(fault.Invariantf("dram", "%s: channel %d out of range", m.Name, r.Channel))
 	}
 	if r.Bank < 0 || r.Bank >= m.cfg.Banks {
-		panic(fmt.Sprintf("dram %s: bank %d out of range", m.Name, r.Bank))
+		panic(fault.Invariantf("dram", "%s: bank %d out of range", m.Name, r.Bank))
 	}
 	if r.Bytes <= 0 {
-		panic("dram: request with no payload")
+		panic(fault.Invariantf("dram", "%s: request with no payload", m.Name))
 	}
 	if r.m == nil {
 		// Externally constructed: bind the completion callback once.
 		r.m = m
 		r.fn = r.complete
 	} else if r.m != m {
-		panic(fmt.Sprintf("dram %s: request bound to memory %s", m.Name, r.m.Name))
+		panic(fault.Invariantf("dram", "%s: request bound to memory %s", m.Name, r.m.Name))
 	}
 	r.enqueued = now
 	c := m.ch[r.Channel]
@@ -266,6 +265,29 @@ func (m *Memory) Pending() int {
 		n += c.readQ.Len() + c.writeQ.Len() + c.committed
 	}
 	return n
+}
+
+// CheckInvariants verifies the scheduler's structural invariants, for the
+// watchdog's -check mode: per-channel commit counts must stay within the
+// bank count (at most one reserved bus window per bank), and — when
+// maxQueued > 0 — total request occupancy must stay under maxQueued, which
+// converts unbounded queue growth (a stuck scheduler that enqueues but
+// never commits) into a diagnosable error instead of slow memory
+// exhaustion.
+func (m *Memory) CheckInvariants(maxQueued int) error {
+	pending := 0
+	for i, c := range m.ch {
+		if c.committed < 0 || c.committed > m.cfg.Banks {
+			return fault.Invariantf("dram", "%s: channel %d has %d committed requests (banks=%d)",
+				m.Name, i, c.committed, m.cfg.Banks)
+		}
+		pending += c.readQ.Len() + c.writeQ.Len() + c.committed
+	}
+	if maxQueued > 0 && pending > maxQueued {
+		return fault.Invariantf("dram", "%s: %d requests in flight exceeds the occupancy bound %d",
+			m.Name, pending, maxQueued)
+	}
+	return nil
 }
 
 // scanLimit caps how many queued requests the scheduler inspects per pick;

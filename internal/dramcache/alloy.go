@@ -4,6 +4,7 @@ import (
 	"bear/internal/config"
 	"bear/internal/core"
 	"bear/internal/dram"
+	"bear/internal/fault"
 )
 
 // AlloyOpts selects the policy configuration of the Alloy-family cache.
@@ -316,7 +317,7 @@ var bwOptLayout = Layout{HitBytes: 64}
 // stacked-DRAM l4 and main memory mem.
 func NewAlloy(name string, sets uint64, l4 *dram.Memory, mem *MainMemory, hooks Hooks, opts AlloyOpts) *Alloy {
 	if sets == 0 {
-		panic("dramcache: alloy with zero sets")
+		panic(fault.Invariantf("dramcache", "alloy with zero sets"))
 	}
 	cfg := l4.Config()
 	c := &Controller{name: name, l4: l4, mem: mem, hooks: hooks}

@@ -3,6 +3,7 @@ package dramcache
 import (
 	"bear/internal/core"
 	"bear/internal/dram"
+	"bear/internal/fault"
 	"bear/internal/sram"
 	"bear/internal/stats"
 )
@@ -116,7 +117,7 @@ func (t *lhTags) WritebackHit(line uint64) { t.tags.SetDirty(line) }
 // WritebackFill implements TagStore (unreachable: LH designs never
 // allocate on writeback misses).
 func (t *lhTags) WritebackFill(uint64, uint64) FillResult {
-	panic("dramcache: Loh-Hill writeback never allocates")
+	panic(fault.Invariantf("dramcache", "Loh-Hill writeback never allocates"))
 }
 
 // Contains implements TagStore.

@@ -1,6 +1,9 @@
 package dramcache
 
-import "bear/internal/sram"
+import (
+	"bear/internal/fault"
+	"bear/internal/sram"
+)
 
 // MissMap is the Loh-Hill presence tracker (MICRO 2011): an SRAM structure
 // holding one entry per 4 KB memory segment with a bit vector marking which
@@ -33,7 +36,7 @@ type MissMap struct {
 // associativity, covering segments of linesPer lines (64 for 4 KB).
 func NewMissMap(segments uint64, ways int, linesPer uint64, onEvictLine func(uint64)) *MissMap {
 	if linesPer == 0 || linesPer > 64 {
-		panic("dramcache: missmap segment size must be 1..64 lines")
+		panic(fault.Invariantf("dramcache", "missmap segment size must be 1..64 lines, got %d", linesPer))
 	}
 	sets := segments / uint64(ways)
 	if sets == 0 {

@@ -2,6 +2,7 @@ package dramcache
 
 import (
 	"bear/internal/dram"
+	"bear/internal/fault"
 	"bear/internal/sram"
 	"bear/internal/stats"
 )
@@ -179,7 +180,7 @@ var sectorLayout = Layout{
 // associativity.
 func NewSector(name string, lines uint64, sectorLines uint64, ways int, l4 *dram.Memory, mem *MainMemory, hooks Hooks) *Sector {
 	if sectorLines == 0 || sectorLines > 64 {
-		panic("dramcache: sector size must be 1..64 lines")
+		panic(fault.Invariantf("dramcache", "sector size must be 1..64 lines, got %d", sectorLines))
 	}
 	cfg := l4.Config()
 	sectors := lines / sectorLines

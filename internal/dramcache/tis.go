@@ -2,6 +2,7 @@ package dramcache
 
 import (
 	"bear/internal/dram"
+	"bear/internal/fault"
 	"bear/internal/sram"
 )
 
@@ -70,7 +71,7 @@ func (t *sramTags) WritebackHit(line uint64) { t.tags.SetDirty(line) }
 // WritebackFill implements TagStore (unreachable: TIS never allocates on
 // writeback misses).
 func (t *sramTags) WritebackFill(uint64, uint64) FillResult {
-	panic("dramcache: TIS writeback never allocates")
+	panic(fault.Invariantf("dramcache", "TIS writeback never allocates"))
 }
 
 // Contains implements TagStore.

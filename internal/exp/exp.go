@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -35,6 +36,20 @@ type Params struct {
 	// (the paper uses 38; 8 keeps runs short).
 	Mixes int
 	Seed  uint64
+	// Watchdog bounds every simulation the Runner executes (see
+	// hier.Watchdog). The zero value applies the default thresholds; it
+	// is not part of the result-store fingerprint because the monitors
+	// never change results, only whether a wedged run dies cleanly.
+	Watchdog hier.Watchdog
+}
+
+// Fingerprint identifies the result-affecting parameters plus a caller
+// context string (typically the build's VCS revision). Stored results are
+// reused only when fingerprints match exactly, so a store populated by a
+// different code version or parameter set is discarded, not trusted.
+func (p Params) Fingerprint(extra string) string {
+	return fmt.Sprintf("v1|scale=%d|warm=%d|meas=%d|mixes=%d|seed=%d|%s",
+		p.Scale, p.Warm, p.Meas, p.Mixes, p.Seed, extra)
 }
 
 // Default returns parameters that reproduce the paper's shapes in a few
@@ -197,10 +212,17 @@ type Runner struct {
 	// worker output never interleaves mid-line.
 	Log io.Writer
 
-	mu    sync.Mutex
-	memo  map[memoKey]*task
-	sem   chan struct{} // worker slots, sized from Parallel on first use
-	count int
+	// Store, when non-nil, is consulted before simulating and updated
+	// after: completed units are restored instead of re-simulated, which
+	// makes interrupted sweeps resumable. Set before the first request.
+	Store *Store
+
+	mu       sync.Mutex
+	memo     map[memoKey]*task
+	sem      chan struct{} // worker slots, sized from Parallel on first use
+	count    int
+	restored int
+	failures map[memoKey]Failure
 
 	logMu  sync.Mutex
 	queues sync.Pool // *event.Queue, reused across simulations per worker
@@ -209,15 +231,28 @@ type Runner struct {
 // NewRunner builds a runner for the given parameters, parallel across
 // runtime.GOMAXPROCS(0) workers by default.
 func NewRunner(p Params) *Runner {
-	return &Runner{p: p, Parallel: runtime.GOMAXPROCS(0), memo: make(map[memoKey]*task)}
+	return &Runner{
+		p:        p,
+		Parallel: runtime.GOMAXPROCS(0),
+		memo:     make(map[memoKey]*task),
+		failures: make(map[memoKey]Failure),
+	}
 }
 
-// Count reports how many simulations have actually executed (memo hits and
-// deduplicated in-flight requests do not run twice).
+// Count reports how many simulations have actually executed (memo hits,
+// deduplicated in-flight requests and store-restored results do not run).
 func (r *Runner) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.count
+}
+
+// Restored reports how many results were served from the Store instead of
+// being simulated.
+func (r *Runner) Restored() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.restored
 }
 
 func (r *Runner) progress(format string, args ...any) {
@@ -253,10 +288,59 @@ func (r *Runner) start(s spec, wlName string, mk func() (trace.Workload, error))
 	go func() {
 		sem <- struct{}{}
 		defer func() { <-sem }()
-		t.res, t.err = r.simulate(s, wlName, mk)
+		t.res, t.err = r.runUnit(key, s, wlName, mk)
 		close(t.done)
 	}()
 	return t
+}
+
+// storeKey renders a memoKey for the result store. specs are flat structs
+// of value fields, so %+v is a stable, collision-free rendering.
+func storeKey(key memoKey) string {
+	return fmt.Sprintf("%+v|%s", key.s, key.wl)
+}
+
+// runUnit executes one simulation unit with fault isolation: a panic
+// anywhere in the simulation stack is recovered into a *SimError carrying
+// the unit's identity and the worker's stack trace, so a faulty design or
+// workload fails its own futures instead of crashing the whole sweep.
+// With a Store attached, completed units are restored instead of re-run,
+// and fresh results are persisted for future resumes. Every failure is
+// recorded for the sweep-level failure table.
+func (r *Runner) runUnit(key memoKey, s spec, wlName string, mk func() (trace.Workload, error)) (res *stats.Run, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &SimError{
+				Design:   s.design.String(),
+				Workload: wlName,
+				Seed:     r.p.Seed,
+				Value:    v,
+				Stack:    string(debug.Stack()),
+			}
+			res = nil
+		}
+		if err != nil {
+			r.mu.Lock()
+			r.failures[key] = Failure{Design: s.design.String(), Workload: key.wl, Err: err}
+			r.mu.Unlock()
+		}
+	}()
+	if r.Store != nil {
+		if cached, ok := r.Store.Load(storeKey(key)); ok {
+			r.mu.Lock()
+			r.restored++
+			r.mu.Unlock()
+			return cached, nil
+		}
+	}
+	res, err = r.simulate(s, wlName, mk)
+	if err != nil {
+		return nil, err
+	}
+	if r.Store != nil {
+		r.Store.Save(storeKey(key), res)
+	}
+	return res, nil
 }
 
 // simulate builds and runs one simulation on the calling worker goroutine.
@@ -274,6 +358,7 @@ func (r *Runner) simulate(s spec, wlName string, mk func() (trace.Workload, erro
 	if err != nil {
 		return nil, err
 	}
+	sim.Watchdog = r.p.Watchdog
 	res, err := sim.Run()
 	if err != nil {
 		return nil, err

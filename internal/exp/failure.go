@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SimError is a structured record of one failed simulation unit: the
+// design, workload and seed identify (and reproduce) the unit, and for
+// recovered panics Stack preserves the worker goroutine's stack trace.
+// Workers convert panics into SimErrors so one faulty unit cannot take
+// down a sweep; callers see the failure through Future.Wait like any
+// other error.
+type SimError struct {
+	Design   string
+	Workload string
+	Seed     uint64
+	Value    any    // recovered panic value, or the underlying error
+	Stack    string // worker stack trace for recovered panics; empty otherwise
+}
+
+func (e *SimError) Error() string {
+	return fmt.Sprintf("sim %s/%s (seed %d): %v", e.Design, e.Workload, e.Seed, e.Value)
+}
+
+// Unwrap exposes the underlying error (when the failure carried one) to
+// errors.Is / errors.As, so callers can still classify *fault.Invariant
+// and *fault.WatchdogError failures through the isolation layer.
+func (e *SimError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Failure is one failed unit of a sweep, as reported by Failures.
+type Failure struct {
+	Design   string
+	Workload string
+	Err      error
+}
+
+// Failures returns every failed simulation unit so far, sorted by design
+// then workload so the failure table is deterministic regardless of which
+// worker hit the failure first.
+func (r *Runner) Failures() []Failure {
+	r.mu.Lock()
+	var out []Failure
+	for _, f := range r.failures {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Design != out[j].Design {
+			return out[i].Design < out[j].Design
+		}
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].Err.Error() < out[j].Err.Error()
+	})
+	return out
+}
+
+// WriteFailureTable prints the failure summary for a degraded sweep, one
+// line per failed unit. It writes nothing when every unit succeeded.
+func (r *Runner) WriteFailureTable(w io.Writer) {
+	fs := r.Failures()
+	if len(fs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%d simulation unit(s) failed:\n", len(fs))
+	for _, f := range fs {
+		fmt.Fprintf(w, "  FAIL %-10s %-10s %v\n", f.Design, f.Workload, f.Err)
+	}
+}

@@ -23,12 +23,24 @@ var goldenIDs = []string{"fig12", "fig13", "tab4"}
 // with:
 //
 //	go test ./internal/exp -run TestGoldenOutputs -update
+//
+// The run executes with the robustness features enabled — an attached
+// result store and the invariant watchdog (-check) — so byte-identity
+// against the committed goldens also proves those features never perturb
+// results. A second, store-backed pass then regenerates every artifact
+// without executing a single simulation, pinning the resume path.
 func TestGoldenOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden runs take ~a minute; skipped with -short")
 	}
 	p := Quick()
+	p.Watchdog.Check = true
+	store, err := OpenStore(t.TempDir(), p.Fingerprint("golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := NewRunner(p)
+	r.Store = store
 	for _, id := range goldenIDs {
 		e, err := ByID(id)
 		if err != nil {
@@ -53,6 +65,37 @@ func TestGoldenOutputs(t *testing.T) {
 		if !bytes.Equal(buf.Bytes(), want) {
 			t.Errorf("%s: output differs from %s\n%s", id, path, firstDiff(want, buf.Bytes()))
 		}
+	}
+	if fs := r.Failures(); len(fs) != 0 {
+		t.Fatalf("golden run recorded failures: %+v", fs)
+	}
+	if *updateGolden {
+		return
+	}
+
+	// Resume pass: a fresh runner over the populated store must regenerate
+	// every artifact byte-identically with zero simulations executed.
+	r2 := NewRunner(p)
+	r2.Store = store
+	for _, id := range goldenIDs {
+		e, _ := ByID(id)
+		var buf bytes.Buffer
+		if err := e.Run(p, &buf, r2); err != nil {
+			t.Fatalf("%s (restored): %v", id, err)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: store-restored output differs from golden\n%s", id, firstDiff(want, buf.Bytes()))
+		}
+	}
+	if n := r2.Count(); n != 0 {
+		t.Errorf("store-backed rerun executed %d simulations, want 0", n)
+	}
+	if r2.Restored() == 0 {
+		t.Error("store-backed rerun restored nothing")
 	}
 }
 

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bear/internal/stats"
+)
+
+// Store is a crash-safe on-disk result cache consulted before simulating.
+// Each completed unit is written to its own file atomically (write to a
+// temporary file, then rename), so a run killed mid-sweep leaves behind
+// only whole entries; re-running with the same store resumes from where
+// the crash left off and re-simulates only the missing units.
+//
+// Every entry embeds the store fingerprint (result-affecting Params plus
+// the caller's build identity — see Params.Fingerprint) and a checksum of
+// the result payload. Load treats any mismatch — corrupted JSON, stale
+// fingerprint, wrong key, bad checksum — as a miss and deletes the entry,
+// so stale or torn files can degrade a resume into extra work but never
+// into wrong results.
+type Store struct {
+	dir         string
+	fingerprint string
+
+	mu        sync.Mutex
+	hits      int
+	discarded int
+	saveErrs  int
+}
+
+const storeVersion = 1
+
+// envelope is the on-disk entry format.
+type envelope struct {
+	Version     int             `json:"version"`
+	Fingerprint string          `json:"fingerprint"`
+	Key         string          `json:"key"`
+	Checksum    string          `json:"checksum"` // sha256 of Result
+	Result      json.RawMessage `json:"result"`
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir whose
+// entries are valid only under the given fingerprint.
+func OpenStore(dir, fingerprint string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: opening result store: %w", err)
+	}
+	return &Store{dir: dir, fingerprint: fingerprint}, nil
+}
+
+// path maps a unit key to its entry file. Keys are hashed so file names
+// stay short and filesystem-safe regardless of what the key contains.
+func (st *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(st.dir, hex.EncodeToString(sum[:8])+".json")
+}
+
+func checksum(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Load returns the stored result for key, or ok=false on a miss. Invalid
+// entries (corruption, stale fingerprint, checksum mismatch) are deleted
+// and reported as misses.
+func (st *Store) Load(key string) (*stats.Run, bool) {
+	p := st.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		st.discard(p)
+		return nil, false
+	}
+	// The checksum covers the compact payload, so canonicalise before
+	// comparing: an entry that was pretty-printed in transit is still
+	// valid, while any semantic edit is not.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Result); err != nil {
+		st.discard(p)
+		return nil, false
+	}
+	if env.Version != storeVersion || env.Fingerprint != st.fingerprint ||
+		env.Key != key || env.Checksum != checksum(compact.Bytes()) {
+		st.discard(p)
+		return nil, false
+	}
+	var res stats.Run
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		st.discard(p)
+		return nil, false
+	}
+	st.mu.Lock()
+	st.hits++
+	st.mu.Unlock()
+	return &res, true
+}
+
+func (st *Store) discard(path string) {
+	os.Remove(path)
+	st.mu.Lock()
+	st.discarded++
+	st.mu.Unlock()
+}
+
+// Save persists a completed result. Failures are best-effort: a store
+// that cannot be written costs future resumes, not current results, so
+// errors are counted (SaveErrors) rather than propagated.
+func (st *Store) Save(key string, res *stats.Run) {
+	resJSON, err := json.Marshal(res)
+	if err != nil {
+		st.saveFailed()
+		return
+	}
+	env := envelope{
+		Version:     storeVersion,
+		Fingerprint: st.fingerprint,
+		Key:         key,
+		Checksum:    checksum(resJSON),
+		Result:      resJSON,
+	}
+	raw, err := json.Marshal(&env)
+	if err != nil {
+		st.saveFailed()
+		return
+	}
+	final := st.path(key)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		st.saveFailed()
+		return
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		st.saveFailed()
+	}
+}
+
+func (st *Store) saveFailed() {
+	st.mu.Lock()
+	st.saveErrs++
+	st.mu.Unlock()
+}
+
+// Hits reports how many units were restored from the store.
+func (st *Store) Hits() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.hits
+}
+
+// Discarded reports how many invalid entries were deleted.
+func (st *Store) Discarded() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.discarded
+}
+
+// SaveErrors reports how many results could not be persisted.
+func (st *Store) SaveErrors() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.saveErrs
+}

@@ -1,0 +1,112 @@
+// Package fault defines the simulator's typed failure vocabulary. Every
+// layer that can detect a broken invariant or a wedged simulation reports
+// it through these types, so the recovery layers above — the experiment
+// Runner's panic isolation, the watchdog in hier.Sim, and the cmd/ binaries'
+// failure tables — can classify failures instead of pattern-matching panic
+// strings.
+//
+// Two kinds of failure exist:
+//
+//   - Invariant: a structural contract was violated (a DRAM request outside
+//     the configured geometry, a double fill, a leaked transaction). These
+//     are programming errors; model code raises them with
+//     panic(Invariantf(...)) so the compiler still sees a terminating
+//     statement, and the Runner's recover boundary converts them into
+//     structured per-unit errors.
+//   - WatchdogError: the simulation stopped making forward progress (a
+//     livelocked event queue, a stalled retire stream, a blown cycle
+//     budget). The watchdog in hier.Sim detects these deterministically
+//     and returns them as ordinary errors.
+//
+// The package deliberately depends on nothing but the standard library's
+// fmt, so every simulation package can import it.
+package fault
+
+import "fmt"
+
+// Invariant is a typed invariant violation. Model code panics with an
+// *Invariant (via Invariantf); the experiment Runner's recover boundary and
+// the cmd/ binaries classify it by Component.
+type Invariant struct {
+	// Component names the layer that detected the violation ("dram",
+	// "sram", "dramcache", "cpu", "hier").
+	Component string
+	// Message describes the violated contract.
+	Message string
+}
+
+func (e *Invariant) Error() string {
+	return e.Component + ": invariant violated: " + e.Message
+}
+
+// Invariantf builds a typed invariant violation. Use it as the panic
+// argument — panic(fault.Invariantf("dram", "bank %d out of range", b)) —
+// so control-flow analysis still sees the panic and the recovery layer
+// receives a classifiable value instead of a bare string.
+func Invariantf(component, format string, args ...any) *Invariant {
+	return &Invariant{Component: component, Message: fmt.Sprintf(format, args...)}
+}
+
+// WatchdogKind classifies what the simulation watchdog detected.
+type WatchdogKind int
+
+const (
+	// WatchdogStall: the event queue kept running but no core retired an
+	// instruction for longer than the stall threshold (livelock).
+	WatchdogStall WatchdogKind = iota
+	// WatchdogCycleBudget: simulated time exceeded the cycle budget.
+	WatchdogCycleBudget
+	// WatchdogDeadlock: the event queue drained with cores unfinished.
+	WatchdogDeadlock
+	// WatchdogDrain: the post-run event-queue drain failed to terminate
+	// within its event budget.
+	WatchdogDrain
+)
+
+var watchdogKindNames = [...]string{
+	WatchdogStall:       "stall",
+	WatchdogCycleBudget: "cycle-budget",
+	WatchdogDeadlock:    "deadlock",
+	WatchdogDrain:       "drain",
+}
+
+func (k WatchdogKind) String() string {
+	if int(k) < len(watchdogKindNames) {
+		return watchdogKindNames[k]
+	}
+	return fmt.Sprintf("WatchdogKind(%d)", int(k))
+}
+
+// WatchdogError reports a simulation that stopped making forward progress.
+// All fields are deterministic: the watchdog samples at fixed event-count
+// epochs, so the same configuration fails at the same cycle every run.
+type WatchdogError struct {
+	Kind     WatchdogKind
+	Workload string
+	Design   string
+	// Cycle is the simulated time at detection.
+	Cycle uint64
+	// Retired is the total instructions retired across cores at detection.
+	Retired uint64
+	// Limit is the threshold that tripped (cycles for stall/budget, events
+	// for drain, unfinished cores for deadlock).
+	Limit uint64
+}
+
+func (e *WatchdogError) Error() string {
+	switch e.Kind {
+	case WatchdogStall:
+		return fmt.Sprintf("watchdog: %s/%s livelocked: no instruction retired for %d cycles (cycle %d, %d retired)",
+			e.Workload, e.Design, e.Limit, e.Cycle, e.Retired)
+	case WatchdogCycleBudget:
+		return fmt.Sprintf("watchdog: %s/%s exceeded the cycle budget of %d (cycle %d, %d retired)",
+			e.Workload, e.Design, e.Limit, e.Cycle, e.Retired)
+	case WatchdogDeadlock:
+		return fmt.Sprintf("watchdog: %s/%s deadlocked: event queue drained with %d cores unfinished (cycle %d, %d retired)",
+			e.Workload, e.Design, e.Limit, e.Cycle, e.Retired)
+	case WatchdogDrain:
+		return fmt.Sprintf("watchdog: %s/%s post-run drain did not terminate within %d events (cycle %d)",
+			e.Workload, e.Design, e.Limit, e.Cycle)
+	}
+	return fmt.Sprintf("watchdog: %s/%s failed (%v)", e.Workload, e.Design, e.Kind)
+}

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestInvariantfFormats(t *testing.T) {
+	err := Invariantf("dram", "bank %d out of range", 7)
+	if err.Component != "dram" {
+		t.Errorf("Component = %q", err.Component)
+	}
+	if got := err.Error(); got != "dram: invariant violated: bank 7 out of range" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+// TestInvariantClassifiableThroughRecover pins the intended use: a panic
+// raised with Invariantf is recovered as a classifiable *Invariant.
+func TestInvariantClassifiableThroughRecover(t *testing.T) {
+	caught := func() (v any) {
+		defer func() { v = recover() }()
+		panic(Invariantf("sram", "fill of already-present line %#x", 0x40))
+	}()
+	inv, ok := caught.(*Invariant)
+	if !ok {
+		t.Fatalf("recovered %T, want *Invariant", caught)
+	}
+	if inv.Component != "sram" || !strings.Contains(inv.Message, "0x40") {
+		t.Errorf("recovered %+v", inv)
+	}
+	// And it is an error, so errors.As works on wrapped forms.
+	var target *Invariant
+	if !errors.As(error(inv), &target) {
+		t.Error("errors.As failed on *Invariant")
+	}
+}
+
+func TestWatchdogErrorMessages(t *testing.T) {
+	cases := []struct {
+		err  *WatchdogError
+		want []string
+	}{
+		{&WatchdogError{Kind: WatchdogStall, Workload: "mcf", Design: "Alloy", Cycle: 9000, Retired: 42, Limit: 4096},
+			[]string{"livelocked", "mcf/Alloy", "4096", "9000", "42"}},
+		{&WatchdogError{Kind: WatchdogCycleBudget, Workload: "lbm", Design: "BEAR", Cycle: 1 << 20, Limit: 1 << 19},
+			[]string{"cycle budget", "lbm/BEAR"}},
+		{&WatchdogError{Kind: WatchdogDeadlock, Workload: "wrf", Design: "LH", Limit: 3},
+			[]string{"deadlocked", "3 cores unfinished"}},
+		{&WatchdogError{Kind: WatchdogDrain, Workload: "wrf", Design: "TIS", Limit: 1 << 24},
+			[]string{"drain", "did not terminate"}},
+	}
+	for _, c := range cases {
+		msg := c.err.Error()
+		for _, w := range c.want {
+			if !strings.Contains(msg, w) {
+				t.Errorf("%v message %q missing %q", c.err.Kind, msg, w)
+			}
+		}
+	}
+}
+
+func TestWatchdogKindString(t *testing.T) {
+	for k, want := range map[WatchdogKind]string{
+		WatchdogStall: "stall", WatchdogCycleBudget: "cycle-budget",
+		WatchdogDeadlock: "deadlock", WatchdogDrain: "drain",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"bear/internal/cpu"
 	"bear/internal/dramcache"
 	"bear/internal/event"
+	"bear/internal/fault"
 	"bear/internal/sram"
 )
 
@@ -146,6 +147,25 @@ func (h *Hierarchy) Hooks() dramcache.Hooks {
 
 // L3 exposes the shared cache (tests and invariant checks).
 func (h *Hierarchy) L3() *sram.Cache { return h.l3 }
+
+// CheckPending verifies the MSHR merge table, for the watchdog's -check
+// mode: every in-flight miss entry must be keyed by its own line and carry
+// at least one waiter (an entry with no waiters would complete into
+// nothing, silently losing a load).
+func (h *Hierarchy) CheckPending() error {
+	for line, e := range h.pending {
+		if e == nil {
+			return fault.Invariantf("hier", "nil miss entry pending for line %#x", line)
+		}
+		if e.line != line {
+			return fault.Invariantf("hier", "miss entry for line %#x filed under %#x", e.line, line)
+		}
+		if len(e.waiters) == 0 {
+			return fault.Invariantf("hier", "miss entry for line %#x has no waiters", line)
+		}
+	}
+	return nil
+}
 
 // onL4Evict updates the DCP state when a line leaves the DRAM cache: the
 // line's presence bit is cleared (known-absent) at every on-chip level,

@@ -8,6 +8,7 @@ import (
 	"bear/internal/dram"
 	"bear/internal/dramcache"
 	"bear/internal/event"
+	"bear/internal/fault"
 	"bear/internal/stats"
 	"bear/internal/trace"
 )
@@ -23,10 +24,66 @@ type Sim struct {
 	Bundle *dramcache.Bundle
 	Cores  []*cpu.Core
 
+	// Watchdog bounds the run; zero fields take defaults (see Watchdog).
+	// Set between construction and Run.
+	Watchdog Watchdog
+
+	warm, meas uint64
 	warmLeft   int
 	finishLeft int
 	started    bool
 	MarkTime   uint64
+}
+
+// Watchdog configures the forward-progress and invariant monitors Run
+// applies. The monitors are pure observers sampling at fixed event-count
+// epochs: they never schedule events or mutate simulation state, so
+// enabling them (at any threshold) leaves results byte-identical, and a
+// wedged simulation trips them at the same cycle on every run.
+type Watchdog struct {
+	// MaxCycles aborts the run when simulated time exceeds it. Zero
+	// derives a generous bound from the instruction budget.
+	MaxCycles uint64
+	// StallCycles aborts when no core retires an instruction for this
+	// many simulated cycles while events keep firing (livelock). Zero
+	// defaults to 1<<22 — orders of magnitude above any legitimate stall
+	// (a DRAM refresh window or write drain is thousands of cycles).
+	StallCycles uint64
+	// CheckEvery is the monitor epoch in executed events (default 1<<16).
+	CheckEvery uint64
+	// Check additionally runs cheap engine invariant checks every epoch
+	// (transaction accounting, DRAM queue occupancy, MSHR accounting) and
+	// a post-run drain + transaction-pool leak check (the -check flag).
+	Check bool
+	// MaxQueued bounds per-memory DRAM request occupancy under Check
+	// (default 1<<16).
+	MaxQueued int
+	// DrainEvents bounds the post-run queue drain under Check
+	// (default 1<<24).
+	DrainEvents uint64
+}
+
+// withDefaults resolves zero fields against the instruction budget.
+func (w Watchdog) withDefaults(warm, meas uint64) Watchdog {
+	if w.CheckEvery == 0 {
+		w.CheckEvery = 1 << 16
+	}
+	if w.StallCycles == 0 {
+		w.StallCycles = 1 << 22
+	}
+	if w.MaxCycles == 0 {
+		// Even a fully serialised core retires one instruction per memory
+		// round trip (hundreds of cycles); 1024 cycles per instruction plus
+		// fixed slack is far beyond any legitimate configuration.
+		w.MaxCycles = (warm+meas)*1024 + 1<<24
+	}
+	if w.MaxQueued == 0 {
+		w.MaxQueued = 1 << 16
+	}
+	if w.DrainEvents == 0 {
+		w.DrainEvents = 1 << 24
+	}
+	return w
 }
 
 // NewSim builds a simulation of cfg running workload, where each core
@@ -45,7 +102,7 @@ func NewSimQueue(cfg config.System, wl trace.Workload, warm, meas uint64, q *eve
 		return nil, fmt.Errorf("hier: workload %q has no sources", wl.Name)
 	}
 	q.Reset()
-	s := &Sim{Cfg: cfg, Workload: wl, Q: q}
+	s := &Sim{Cfg: cfg, Workload: wl, Q: q, warm: warm, meas: meas}
 	cores := len(wl.Sources)
 	s.Hier = New(cfg, s.Q, cores)
 	bundle, err := dramcache.Build(cfg, s.Q, s.Hier.Hooks())
@@ -142,12 +199,119 @@ func (s *Sim) RunWarm() {
 	s.Q.Run(func() bool { return s.warmLeft == 0 })
 }
 
+// totalRetired sums retired instructions over all cores: the watchdog's
+// forward-progress signal.
+func (s *Sim) totalRetired() uint64 {
+	var n uint64
+	for _, c := range s.Cores {
+		n += c.Retired()
+	}
+	return n
+}
+
+// watchdogErr builds a deterministic diagnosis for a tripped monitor.
+func (s *Sim) watchdogErr(kind fault.WatchdogKind, limit uint64) *fault.WatchdogError {
+	return &fault.WatchdogError{
+		Kind:     kind,
+		Workload: s.Workload.Name,
+		Design:   s.Bundle.Cache.Name(),
+		Cycle:    s.Q.Now(),
+		Retired:  s.totalRetired(),
+		Limit:    limit,
+	}
+}
+
+// checkInvariants runs the cheap per-epoch engine checks enabled by
+// Watchdog.Check: transaction accounting, DRAM queue occupancy, MSHR
+// accounting and miss-table consistency.
+func (s *Sim) checkInvariants(maxQueued int) error {
+	if n := s.Bundle.Cache.OutstandingTxns(); n < 0 {
+		return fault.Invariantf("dramcache", "%s: %d outstanding transactions (double release)", s.Bundle.Cache.Name(), n)
+	}
+	if err := s.Bundle.MemDRAM.CheckInvariants(maxQueued); err != nil {
+		return err
+	}
+	if s.Bundle.L4DRAM != nil {
+		if err := s.Bundle.L4DRAM.CheckInvariants(maxQueued); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Cores {
+		if err := c.CheckMSHRs(); err != nil {
+			return err
+		}
+	}
+	return s.Hier.CheckPending()
+}
+
+// drainAndCheck halts every core, drains the event queue (bounded by
+// DrainEvents) and verifies that quiescence really is quiescent: no leaked
+// transactions in the pool and no requests still queued in any DRAM channel.
+// Only called under Watchdog.Check, after results have been snapshotted.
+func (s *Sim) drainAndCheck(wd Watchdog) error {
+	for _, c := range s.Cores {
+		c.Halt()
+	}
+	var steps uint64
+	for s.Q.Step() {
+		steps++
+		if steps > wd.DrainEvents {
+			return s.watchdogErr(fault.WatchdogDrain, wd.DrainEvents)
+		}
+	}
+	if n := s.Bundle.Cache.OutstandingTxns(); n != 0 {
+		return fault.Invariantf("dramcache", "%s: %d transactions leaked from the pool after drain", s.Bundle.Cache.Name(), n)
+	}
+	if p := s.Bundle.MemDRAM.Pending(); p != 0 {
+		return fault.Invariantf("dram", "%s: %d requests still queued after drain", s.Bundle.MemDRAM.Name, p)
+	}
+	if s.Bundle.L4DRAM != nil {
+		if p := s.Bundle.L4DRAM.Pending(); p != 0 {
+			return fault.Invariantf("dram", "%s: %d requests still queued after drain", s.Bundle.L4DRAM.Name, p)
+		}
+	}
+	return nil
+}
+
 // Run executes the simulation to completion and returns the results.
+//
+// Run steps the queue itself (rather than delegating to Queue.Run) so the
+// watchdog can observe the simulation at fixed event-count epochs without
+// scheduling events of its own — the event sequence, and therefore every
+// result, is byte-identical with the watchdog at any setting. A tripped
+// monitor converts a livelock, runaway or deadlock into a typed
+// *fault.WatchdogError naming the workload, design and cycle.
 func (s *Sim) Run() (*stats.Run, error) {
 	s.start()
-	s.Q.Run(func() bool { return s.finishLeft == 0 })
+	wd := s.Watchdog.withDefaults(s.warm, s.meas)
+	var steps uint64
+	lastRetired := s.totalRetired()
+	progressAt := s.Q.Now()
+	for s.finishLeft > 0 {
+		if !s.Q.Step() {
+			break
+		}
+		steps++
+		if steps%wd.CheckEvery != 0 {
+			continue
+		}
+		now := s.Q.Now()
+		if now > wd.MaxCycles {
+			return nil, s.watchdogErr(fault.WatchdogCycleBudget, wd.MaxCycles)
+		}
+		if r := s.totalRetired(); r != lastRetired {
+			lastRetired, progressAt = r, now
+		} else if now-progressAt > wd.StallCycles {
+			return nil, s.watchdogErr(fault.WatchdogStall, wd.StallCycles)
+		}
+		if wd.Check {
+			if err := s.checkInvariants(wd.MaxQueued); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if s.finishLeft != 0 {
-		return nil, fmt.Errorf("hier: deadlock — %d cores unfinished with empty event queue (workload %s)", s.finishLeft, s.Workload.Name)
+		return nil, s.watchdogErr(fault.WatchdogDeadlock, uint64(s.finishLeft))
 	}
 
 	r := &stats.Run{
@@ -172,5 +336,15 @@ func (s *Sim) Run() (*stats.Run, error) {
 	r.L3Writebacks = s.Hier.Counters.L3Writebacks
 	r.MemReadBytes = s.Bundle.MemDRAM.Stats.ReadBytes
 	r.MemWriteBytes = s.Bundle.MemDRAM.Stats.WriteBytes
+
+	// Under -check, prove quiescence after the results are snapshotted so
+	// the epilogue cannot perturb them: drain the queue and verify nothing
+	// leaked. An error here means the run's accounting was unsound even if
+	// its numbers looked plausible.
+	if wd.Check {
+		if err := s.drainAndCheck(wd); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }

@@ -207,6 +207,12 @@ func (p *Program) scanCall(pkg *Package, call *ast.CallExpr, s *fnSummary, inPan
 		}
 		return
 	}
+	if inPanic {
+		// Panic arguments are cold by definition, so calls made only to
+		// build them — typed invariant constructors like fault.Invariantf —
+		// are not chased through the call graph.
+		return
+	}
 	s.calls = append(s.calls, callEdge{target: fn.FullName(), pos: call.Pos(), name: displayName(fn)})
 }
 

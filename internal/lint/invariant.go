@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkInvariantPanics enforces the typed-failure contract in engine
+// packages: a panic that raises a bare string — a literal, a fmt.Sprintf
+// result, anything of string type — is opaque to the fault-isolation
+// layer, which recovers panics and wants to classify them (is this an
+// engine invariant violation, or arbitrary corruption?). Engine packages
+// must raise typed values instead: panic(fault.Invariantf(component,
+// format, ...)), which still terminates control flow at the panic site
+// but arrives at recover as a classifiable error.
+//
+// The rule is gated by Config.InvariantPanic and applies only to the
+// packages it opts in (the engine: dram, sram, cpu, hier, dramcache).
+// Infrastructure and drivers may panic however they like.
+func (p *Program) checkInvariantPanics(pkg *Package, cfg Config, report reporter) {
+	if !cfg.invariantPanic(pkg.Path) {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || builtinName(pkg.Info, call) != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			t := pkg.Info.TypeOf(call.Args[0])
+			if t == nil {
+				return true
+			}
+			if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+				report(pkg, RuleInvariant, call.Pos(),
+					"panic with a bare string in an engine package; raise a typed error — panic(fault.Invariantf(component, ...)) — so recover layers can classify the failure")
+			}
+			return true
+		})
+	}
+}

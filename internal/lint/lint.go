@@ -16,6 +16,9 @@
 //   - engine contracts: experiment registrations use unique string-literal
 //     ids, and Controller compositions that set a tag store also set a
 //     Layout.
+//   - typed invariants: engine packages must not panic with bare strings;
+//     they raise typed errors (fault.Invariantf) that the fault-isolation
+//     recover in internal/exp can classify.
 //
 // The analyzer is built on the standard library only (go/parser, go/ast,
 // go/types with go/importer's source mode); see cmd/simlint for the CLI and
@@ -45,6 +48,7 @@ const (
 	RulePool        = "pool"        // pooled object dropped on a return path
 	RuleDupID       = "dupid"       // duplicate or non-literal experiment id
 	RuleLayout      = "layout"      // Controller composition without a Layout
+	RuleInvariant   = "invariant"   // bare string panic in an engine package
 )
 
 // Diagnostic is one finding, positioned for file:line reporting.
@@ -69,6 +73,12 @@ type Config struct {
 	AllowGo func(pkgPath string) bool
 	// MapRange gates the map-iteration rule. Nil means every package.
 	MapRange func(pkgPath string) bool
+	// InvariantPanic gates the bare-string-panic rule. Unlike the other
+	// gates, nil disables the rule entirely: it is an engine-package
+	// contract (typed invariant errors that recover layers can classify),
+	// not a repository-wide one, so it applies only where the caller
+	// opts packages in.
+	InvariantPanic func(pkgPath string) bool
 }
 
 func (c Config) determinism(path string) bool {
@@ -81,6 +91,10 @@ func (c Config) allowGo(path string) bool {
 
 func (c Config) mapRange(path string) bool {
 	return c.MapRange == nil || c.MapRange(path)
+}
+
+func (c Config) invariantPanic(path string) bool {
+	return c.InvariantPanic != nil && c.InvariantPanic(path)
 }
 
 // Package is one parsed and type-checked package under analysis.
@@ -236,6 +250,7 @@ func (p *Program) Run(cfg Config) []Diagnostic {
 		p.checkDeterminism(pkg, cfg, report)
 		p.checkContracts(pkg, report)
 		p.checkPools(pkg, sums, report)
+		p.checkInvariantPanics(pkg, cfg, report)
 	}
 	p.checkHotPaths(sums, report)
 

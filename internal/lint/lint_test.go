@@ -19,9 +19,10 @@ import (
 // concurrency layer (internal/exp).
 func testConfig() Config {
 	return Config{
-		Determinism: func(p string) bool { return p != "fix/exempt" },
-		AllowGo:     func(p string) bool { return p == "fix/gook" },
-		MapRange:    func(p string) bool { return p != "fix/exempt" },
+		Determinism:    func(p string) bool { return p != "fix/exempt" },
+		AllowGo:        func(p string) bool { return p == "fix/gook" },
+		MapRange:       func(p string) bool { return p != "fix/exempt" },
+		InvariantPanic: func(p string) bool { return p == "fix/inv" },
 	}
 }
 

@@ -57,6 +57,27 @@ func guard(v int) {
 	}
 }
 
+type invErr struct{ msg string }
+
+func (e *invErr) Error() string { return e.msg }
+
+// invErrf stands in for a typed invariant constructor (fault.Invariantf):
+// it allocates and formats, which is fine inside a panic argument.
+func invErrf(format string, args ...any) *invErr {
+	return &invErr{msg: fmt.Sprintf(format, args...)}
+}
+
+// typedGuard: calls made only to build a panic value are not chased
+// through the call graph — raising a typed invariant error from a hot
+// path is sanctioned.
+//
+//bear:hotpath
+func typedGuard(v int) {
+	if v < 0 {
+		panic(invErrf("negative: %d", v))
+	}
+}
+
 func slowHelper(v int) string {
 	return fmt.Sprintf("%d", v)
 }

@@ -1,0 +1,54 @@
+// Package inv exercises the invariant family: engine packages must panic
+// with typed errors, not bare strings, so the fault-isolation layer can
+// classify recovered panics.
+package inv
+
+import "fmt"
+
+// typedErr stands in for fault.Invariant: any non-string panic value is
+// acceptable to the rule; classification happens at recover.
+type typedErr struct{ msg string }
+
+func (e *typedErr) Error() string { return e.msg }
+
+func typedErrf(format string, args ...any) *typedErr {
+	return &typedErr{msg: fmt.Sprintf(format, args...)}
+}
+
+func literal(v int) {
+	if v < 0 {
+		panic("negative input") // want "invariant: panic with a bare string"
+	}
+}
+
+func formatted(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("negative input: %d", v)) // want "invariant: panic with a bare string"
+	}
+}
+
+type stringy string
+
+func namedString(v int) {
+	if v < 0 {
+		panic(stringy("negative")) // want "invariant: panic with a bare string"
+	}
+}
+
+func typed(v int) {
+	if v < 0 {
+		panic(typedErrf("negative input: %d", v))
+	}
+}
+
+func plainError(v int) {
+	if v < 0 {
+		panic(fmt.Errorf("negative input: %d", v))
+	}
+}
+
+func suppressed(v int) {
+	if v < 0 {
+		panic("fixture") //bear:nolint invariant — exercising the escape hatch
+	}
+}

@@ -8,7 +8,7 @@
 // stores and the Loh-Hill MissMap in internal/dramcache.
 package sram
 
-import "fmt"
+import "bear/internal/fault"
 
 // Line is one cache line's metadata. Addr is the full line address (byte
 // address >> 6) so evictions can be routed without tag reconstruction.
@@ -41,7 +41,7 @@ type Cache struct {
 // [1, 64].
 func New(sets uint64, ways int) *Cache {
 	if sets == 0 || ways <= 0 || ways > 64 {
-		panic(fmt.Sprintf("sram: invalid geometry sets=%d ways=%d", sets, ways))
+		panic(fault.Invariantf("sram", "invalid geometry sets=%d ways=%d", sets, ways))
 	}
 	return &Cache{
 		sets:  sets,
@@ -198,7 +198,7 @@ func (c *Cache) Fill(addr uint64, dirty bool, aux uint8) Eviction {
 			break
 		}
 		if c.lines[i].Addr == addr {
-			panic("sram: fill of already-present line")
+			panic(fault.Invariantf("sram", "fill of already-present line %#x", addr))
 		}
 		if c.lru[i] < victimStamp {
 			victim, victimStamp = i, c.lru[i]

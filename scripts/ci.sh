@@ -32,3 +32,27 @@ go test -race -shuffle=on ./...
 # perf harness (simbench_test.go and friends) from bit-rotting without
 # adding meaningful CI time; timed runs go through scripts/bench.sh.
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+# fault-injection smoke: re-run the robustness suite (panic isolation,
+# watchdog trips, -check epochs, store corruption/resume) under the race
+# detector by name. These all ran in the main gate above; naming them here
+# keeps the stage meaningful if the main gate ever narrows, and makes a
+# robustness regression point at itself in the CI log.
+go test -race -run 'Panic|Watchdog|Check|Store|Fingerprint|Fault|Invariant' \
+	./internal/exp ./internal/hier ./internal/fault
+
+# resume round-trip: a real bearbench sweep, interrupted only in the sense
+# that it runs twice against the same store. The second run must restore
+# every unit (zero simulations) and produce byte-identical artifacts.
+# Timing lines ("[tab4 done in ...]") legitimately differ run to run and
+# are filtered out of the comparison.
+store=$(mktemp -d)
+run1=$(mktemp)
+run2=$(mktemp)
+err2=$(mktemp)
+trap 'rm -rf "$store" "$run1" "$run2" "$err2"' EXIT
+resume_args="-run tab4 -scale 1024 -warm 20000 -meas 50000 -mixes 1 -resume $store"
+go run ./cmd/bearbench $resume_args | grep -v '^\[' >"$run1"
+go run ./cmd/bearbench $resume_args 2>"$err2" | grep -v '^\[' >"$run2"
+cmp "$run1" "$run2"
+grep -q 'result(s) restored' "$err2"
