@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke bench-snapshot bench-compare ci
+.PHONY: all build test race vet lint bench bench-smoke bench-snapshot bench-compare profile ci
 
 all: build
 
@@ -46,5 +46,11 @@ bench-snapshot:
 # regression.
 bench-compare:
 	scripts/bench_compare.sh
+
+# profile captures a CPU profile of one full simulation run (default
+# Alloy/mcf; override with DESIGN=/WORKLOAD=) and renders the top-20 hottest
+# functions into profiles/cpu_<design>_<workload>.txt.
+profile:
+	scripts/profile.sh
 
 ci: vet lint build race bench-smoke

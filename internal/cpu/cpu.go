@@ -51,10 +51,16 @@ type pendingLoad struct {
 // its backing array forever instead of crawling a slice forward. Capacity
 // is kept a power of two so indexing is a mask, not a division — At sits on
 // the per-instruction path.
+//
+// popped counts lifetime PopFronts, giving every entry a stable absolute
+// position (popped+i for the i-th outstanding load). Completion callbacks
+// carry that position so they resolve their entry in O(1) instead of
+// scanning the window.
 type loadRing struct {
-	buf  []pendingLoad
-	head int
-	n    int
+	buf    []pendingLoad
+	head   int
+	n      int
+	popped uint64
 }
 
 // Len reports the number of outstanding loads.
@@ -63,8 +69,9 @@ func (r *loadRing) Len() int { return r.n }
 // At returns the i-th outstanding load in issue order.
 func (r *loadRing) At(i int) *pendingLoad { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
 
-// Push appends a load at the tail, growing the ring when full.
-func (r *loadRing) Push(p pendingLoad) {
+// Push appends a load at the tail, growing the ring when full, and returns
+// the entry's absolute position.
+func (r *loadRing) Push(p pendingLoad) uint64 {
 	if r.n == len(r.buf) {
 		grown := make([]pendingLoad, max(4, 2*len(r.buf)))
 		for i := 0; i < r.n; i++ {
@@ -75,12 +82,14 @@ func (r *loadRing) Push(p pendingLoad) {
 	}
 	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
 	r.n++
+	return r.popped + uint64(r.n-1)
 }
 
 // PopFront removes the oldest outstanding load.
 func (r *loadRing) PopFront() {
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
+	r.popped++
 }
 
 // timeHeap is a reusable min-heap of completion times for loads the port
@@ -139,28 +148,30 @@ func (t *timeHeap) drainLE(limit uint64) int {
 type doneToken struct {
 	c    *Core
 	idx  uint64
+	pos  uint64 // absolute loadRing position of the load's entry
 	fn   event.Func
 	next *doneToken
 }
 
 // complete marks the load issued as instruction idx finished and resumes the
-// core.
+// core. The token's absolute ring position resolves the entry directly: a
+// pending load is never popped (popCompleted stops at a pending head), so
+// pos-popped is always a live offset and no window scan is needed.
 //
 //bear:hotpath
 func (d *doneToken) complete(now uint64) {
-	c, idx := d.c, d.idx
-	c.putToken(d)
-	for i := 0; i < c.outstanding.Len(); i++ {
-		p := c.outstanding.At(i)
-		if p.idx == idx && p.pending {
-			p.pending = false
-			p.completeAt = now
-			// run() will set c.time >= now, so this entry is no longer
-			// live; retire its MSHR slot immediately.
-			c.inflight--
-			break
-		}
+	c := d.c
+	p := c.outstanding.At(int(d.pos - c.outstanding.popped))
+	if p.idx != d.idx || !p.pending {
+		panic(fault.Invariantf("cpu", "core %d: completion token for instr %d resolved to instr %d (pending=%v)",
+			c.ID, d.idx, p.idx, p.pending))
 	}
+	c.putToken(d)
+	p.pending = false
+	p.completeAt = now
+	// run() will set c.time >= now, so this entry is no longer live; retire
+	// its MSHR slot immediately.
+	c.inflight--
 	c.run(now)
 }
 
@@ -175,6 +186,7 @@ type Core struct {
 
 	warmBudget  uint64
 	measBudget  uint64
+	budgetMark  uint64 // next retired count needing warm/finish handling
 	retired     uint64
 	time        uint64 // core-local time, >= q.Now() when running
 	outstanding loadRing
@@ -212,7 +224,39 @@ func New(id int, cfg config.Core, q *event.Queue, src trace.Source, port MemPort
 		onWarm: onWarm, onFinish: onFinish,
 	}
 	c.runFn = c.run
+	c.updateMark()
 	return c
+}
+
+// updateMark recomputes the next retired count at which the retire loop must
+// take the warm/finish slow path; once both have fired the mark is parked
+// beyond any reachable count.
+func (c *Core) updateMark() {
+	m := ^uint64(0)
+	if !c.Finished {
+		m = c.warmBudget + c.measBudget
+	}
+	if !c.warmed && c.warmBudget < m {
+		m = c.warmBudget
+	}
+	c.budgetMark = m
+}
+
+// crossMark handles the warm and finish boundaries. It fires on exactly the
+// iterations where the per-op checks it replaces would have fired: budgetMark
+// is the smallest retired count at which either check could trigger.
+func (c *Core) crossMark() {
+	if !c.Finished && c.retired >= c.warmBudget+c.measBudget {
+		c.finish()
+	}
+	if !c.warmed && c.retired >= c.warmBudget {
+		c.warmed = true
+		c.MarkTime = c.time
+		if c.onWarm != nil {
+			c.onWarm(c.ID)
+		}
+	}
+	c.updateMark()
 }
 
 //bear:acquire
@@ -314,16 +358,8 @@ func (c *Core) run(now uint64) {
 			return
 		}
 
-		total := c.warmBudget + c.measBudget
-		if !c.Finished && c.retired >= total {
-			c.finish()
-		}
-		if !c.warmed && c.retired >= c.warmBudget {
-			c.warmed = true
-			c.MarkTime = c.time
-			if c.onWarm != nil {
-				c.onWarm(c.ID)
-			}
+		if c.retired >= c.budgetMark {
+			c.crossMark()
 		}
 
 		// Stall checks. A full MSHR file or exhausted window blocks issue
@@ -358,19 +394,21 @@ func (c *Core) run(now uint64) {
 		} else {
 			idx := c.retired
 			tok := c.getToken(idx)
+			// The entry's absolute position is known before the push: done
+			// fires strictly later (MemPort contract), after the push below.
+			tok.pos = c.outstanding.popped + uint64(c.outstanding.n)
 			completeAt, sync := c.port.Load(c.time, c.ID, op.Line, op.PC, tok.fn)
 			if sync {
 				// The port answered without keeping the callback.
 				c.putToken(tok)
-			}
-			if sync && completeAt <= c.time {
-				// Already satisfied; nothing outstanding.
-			} else {
-				c.outstanding.Push(pendingLoad{idx: idx, completeAt: completeAt, pending: !sync})
-				c.inflight++
-				if sync {
+				if completeAt > c.time {
+					c.outstanding.Push(pendingLoad{idx: idx, completeAt: completeAt})
+					c.inflight++
 					c.syncDone.push(completeAt)
 				}
+			} else {
+				c.outstanding.Push(pendingLoad{idx: idx, pending: true})
+				c.inflight++
 			}
 		}
 
@@ -402,18 +440,19 @@ func (c *Core) popCompleted() {
 // known completion time it wakes then; async completions re-invoke run via
 // their callbacks. anyLoad selects between MSHR stalls (any completion
 // helps) and window stalls (only the oldest helps).
+//
+//bear:hotpath
 func (c *Core) waitForLoads(anyLoad bool) {
 	stallFrom := c.time
 	var wake uint64
 	haveWake := false
 	if anyLoad {
-		for i := 0; i < c.outstanding.Len(); i++ {
-			p := c.outstanding.At(i)
-			if !p.pending && p.completeAt > c.time {
-				if !haveWake || p.completeAt < wake {
-					wake, haveWake = p.completeAt, true
-				}
-			}
+		// The caller just drained syncDone to c.time, so the heap holds
+		// exactly the completion times of non-pending outstanding loads that
+		// are still in the future; its top is the earliest useful wakeup. No
+		// window scan needed.
+		if len(c.syncDone.h) > 0 {
+			wake, haveWake = c.syncDone.h[0], true
 		}
 	} else if c.outstanding.Len() > 0 {
 		p := c.outstanding.At(0)

@@ -47,6 +47,7 @@ type Request struct {
 	OnComplete event.Func
 
 	enqueued uint64
+	burst    uint64 // data-burst cycles, computed once at Enqueue
 
 	m      *Memory    // memory this request is bound to
 	fn     event.Func // pre-bound r.complete, created once per Request
@@ -153,6 +154,19 @@ type channel struct {
 
 	acts   [4]uint64 // last four activate times (tFAW window)
 	actPos int       // index of the oldest entry in acts
+
+	// stallStart memoizes the best feasible burst start of the last scan
+	// that failed the commit-ahead horizon, and stallNow the time it was
+	// computed at. Candidate starts depend only on queue contents, bank
+	// state, the bus, and now — the first three change only in Enqueue and
+	// commit (which clear the memo), and starts are monotone in now — so a
+	// re-kick at a time >= stallNow can skip the scan while the memoized
+	// start still misses the horizon. Kicks are not monotone in time
+	// (Enqueue may run at a future issue cycle), so earlier re-kicks must
+	// rescan.
+	stallStart uint64
+	stallNow   uint64
+	stallValid bool
 }
 
 // Memory is one DRAM subsystem.
@@ -164,6 +178,8 @@ type Memory struct {
 	q    *event.Queue
 	ch   []*channel
 	free *Request // recycled Request freelist
+
+	refBase, refEnd uint64 // memoized refresh period [k*tREFI, (k+1)*tREFI)
 }
 
 // New creates a Memory with the given geometry attached to the event queue.
@@ -227,6 +243,7 @@ func (m *Memory) Enqueue(now uint64, r *Request) {
 		panic(fault.Invariantf("dram", "%s: request bound to memory %s", m.Name, r.m.Name))
 	}
 	r.enqueued = now
+	r.burst = uint64((r.Bytes + m.cfg.BytesPerCycle - 1) / m.cfg.BytesPerCycle)
 	c := m.ch[r.Channel]
 	if r.Write {
 		c.writeQ.Push(r)
@@ -236,6 +253,7 @@ func (m *Memory) Enqueue(now uint64, r *Request) {
 			m.Stats.MaxReadQLen = c.readQ.Len()
 		}
 	}
+	c.stallValid = false // a new candidate can lower the best feasible start
 	m.kick(now, c)
 }
 
@@ -302,6 +320,16 @@ const scanLimit = 16
 //
 //bear:hotpath
 func (m *Memory) kick(now uint64, c *channel) {
+	if c.stallValid {
+		if c.committed > 0 && now >= c.stallNow &&
+			c.stallStart > max64(now, c.busFreeAt)+m.cfg.TRCD+m.cfg.TCAS {
+			// Nothing relevant changed since the last scan stalled on the
+			// horizon, and the horizon still has not caught up: rescanning
+			// would reproduce the same stall.
+			return
+		}
+		c.stallValid = false
+	}
 	for c.committed < m.cfg.Banks {
 		// Update write-drain mode (watermark hysteresis).
 		if c.writeQ.Len() >= m.cfg.WriteQHi {
@@ -332,9 +360,31 @@ func (m *Memory) kick(now uint64, c *channel) {
 		if limit > scanLimit {
 			limit = scanLimit
 		}
+		busFree := max64(c.busFreeAt, now)
 		for i := 0; i < limit; i++ {
 			r := pool.At(i)
-			start, hit := m.burstStart(now, c, r)
+			if best != -1 {
+				if bestHit && bestStart <= busFree {
+					// No burst can begin before the bus frees and the
+					// row-hit tie-break is already won: the scan is decided.
+					break
+				}
+				b := &c.banks[r.Bank]
+				if !b.hasOpen || b.openRow != r.Row {
+					// A row miss can only displace the best on a strictly
+					// earlier start, and its start is bounded below by the
+					// bus, the bank's in-flight burst, and tRCD+tCAS. When
+					// that bound cannot beat the best, skip the full timing
+					// computation (tRAS/tFAW/refresh alignment).
+					if bestStart <= busFree {
+						continue
+					}
+					if lb := max64(b.busyUntil, now) + m.cfg.TRCD + m.cfg.TCAS; lb >= bestStart {
+						continue
+					}
+				}
+			}
+			start, hit := m.burstStart(now, c, r, busFree)
 			if best == -1 || start < bestStart || (start == bestStart && hit && !bestHit) {
 				best, bestStart, bestHit = i, start, hit
 			}
@@ -347,6 +397,7 @@ func (m *Memory) kick(now uint64, c *channel) {
 		if c.committed > 0 {
 			horizon := max64(now, c.busFreeAt) + m.cfg.TRCD + m.cfg.TCAS
 			if bestStart > horizon {
+				c.stallStart, c.stallNow, c.stallValid = bestStart, now, true
 				return
 			}
 		}
@@ -360,10 +411,11 @@ func (m *Memory) kick(now uint64, c *channel) {
 // burst rate, each still paying tCAS of latency); row misses must wait for
 // the bank's in-flight burst, tRAS since the last activate, precharge and
 // activation.
-func (m *Memory) burstStart(now uint64, c *channel, r *Request) (start uint64, rowHit bool) {
+//
+//bear:hotpath
+func (m *Memory) burstStart(now uint64, c *channel, r *Request, busFree uint64) (start uint64, rowHit bool) {
 	b := &c.banks[r.Bank]
-	busFree := max64(c.busFreeAt, now)
-	burst := uint64((r.Bytes + m.cfg.BytesPerCycle - 1) / m.cfg.BytesPerCycle)
+	burst := r.burst
 	if b.hasOpen && b.openRow == r.Row {
 		// The CAS could have issued as soon as both the request and the
 		// open row existed; deferred scheduling must not re-charge tCAS
@@ -387,21 +439,31 @@ func (m *Memory) burstStart(now uint64, c *channel, r *Request) (start uint64, r
 
 // alignRefresh pushes a data-burst window out of any all-bank refresh
 // period. Refreshes occupy [k*tREFI, k*tREFI+tRFC) for k >= 1.
+//
+// The current refresh period [refBase, refEnd) is memoized on the Memory:
+// the scheduler evaluates candidate windows clustered around the present,
+// so almost every call lands in the cached period and skips the 64-bit
+// division that locating it costs.
+//
+//bear:hotpath
 func (m *Memory) alignRefresh(start, burst uint64) uint64 {
 	if m.cfg.TREFI == 0 {
 		return start
 	}
 	for {
-		k := start / m.cfg.TREFI
-		if k > 0 {
-			if wEnd := k*m.cfg.TREFI + m.cfg.TRFC; start < wEnd {
+		if start < m.refBase || start >= m.refEnd {
+			base := start - start%m.cfg.TREFI
+			m.refBase = base
+			m.refEnd = base + m.cfg.TREFI
+		}
+		if m.refBase > 0 {
+			if wEnd := m.refBase + m.cfg.TRFC; start < wEnd {
 				start = wEnd
 				continue
 			}
 		}
-		next := (k + 1) * m.cfg.TREFI
-		if start+burst > next {
-			start = next + m.cfg.TRFC
+		if start+burst > m.refEnd {
+			start = m.refEnd + m.cfg.TRFC
 			continue
 		}
 		return start
@@ -410,7 +472,7 @@ func (m *Memory) alignRefresh(start, burst uint64) uint64 {
 
 func (m *Memory) commit(now uint64, c *channel, r *Request, start uint64, rowHit bool) {
 	b := &c.banks[r.Bank]
-	burst := uint64((r.Bytes + m.cfg.BytesPerCycle - 1) / m.cfg.BytesPerCycle)
+	burst := r.burst
 	end := start + burst
 
 	if !rowHit {

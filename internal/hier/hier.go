@@ -61,7 +61,7 @@ type waiter struct {
 //bear:hotpath
 func (e *missEntry) onFill(t uint64, res dramcache.ReadResult) {
 	h := e.h
-	delete(h.pending, e.line)
+	h.pending.del(e.line)
 	h.fillL3(t, e.core, e.line, res)
 	aux := auxFor(res.InL4)
 	for _, w := range e.waiters {
@@ -84,7 +84,7 @@ type Hierarchy struct {
 	l3 *sram.Cache
 	l4 dramcache.Cache
 
-	pending  map[uint64]*missEntry
+	pending  missTable
 	missFree *missEntry // recycled missEntry freelist
 
 	Counters Counters
@@ -125,7 +125,7 @@ func New(cfg config.System, q *event.Queue, cores int) *Hierarchy {
 		cfg:     cfg,
 		q:       q,
 		l3:      sram.New(uint64(cfg.L3.Sets()), cfg.L3.Ways),
-		pending: make(map[uint64]*missEntry),
+		pending: newMissTable(),
 	}
 	for i := 0; i < cores; i++ {
 		h.l1 = append(h.l1, sram.New(uint64(cfg.L1.Sets()), cfg.L1.Ways))
@@ -153,18 +153,15 @@ func (h *Hierarchy) L3() *sram.Cache { return h.l3 }
 // at least one waiter (an entry with no waiters would complete into
 // nothing, silently losing a load).
 func (h *Hierarchy) CheckPending() error {
-	for line, e := range h.pending {
-		if e == nil {
-			return fault.Invariantf("hier", "nil miss entry pending for line %#x", line)
-		}
+	return h.pending.each(func(line uint64, e *missEntry) error {
 		if e.line != line {
 			return fault.Invariantf("hier", "miss entry for line %#x filed under %#x", e.line, line)
 		}
 		if len(e.waiters) == 0 {
 			return fault.Invariantf("hier", "miss entry for line %#x has no waiters", line)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // onL4Evict updates the DCP state when a line leaves the DRAM cache: the
@@ -208,17 +205,15 @@ func (h *Hierarchy) Load(now uint64, coreID int, line, pc uint64, done event.Fun
 	}
 	h.Counters.L1Misses++
 	h.Counters.L2Accesses++
-	if ln, ok := h.l2[coreID].Lookup(line); ok {
-		h.l2[coreID].Access(line, false)
-		h.fillL1(coreID, line, false, ln.Aux)
+	if aux, ok := h.l2[coreID].AccessAux(line, false); ok {
+		h.fillL1Miss(coreID, line, false, aux)
 		return now + h.cfg.L2.Latency, true
 	}
 	h.Counters.L2Misses++
 	h.Counters.L3Accesses++
-	if ln, ok := h.l3.Lookup(line); ok {
-		h.l3.Access(line, false)
-		h.fillL2(now, coreID, line, ln.Aux)
-		h.fillL1(coreID, line, false, ln.Aux)
+	if aux, ok := h.l3.AccessAux(line, false); ok {
+		h.fillL2(now, coreID, line, aux)
+		h.fillL1Miss(coreID, line, false, aux)
 		return now + h.cfg.L3.Latency, true
 	}
 	h.miss(now, coreID, line, pc, false, done)
@@ -237,17 +232,15 @@ func (h *Hierarchy) Store(now uint64, coreID int, line, pc uint64) {
 	}
 	h.Counters.L1Misses++
 	h.Counters.L2Accesses++
-	if ln, ok := h.l2[coreID].Lookup(line); ok {
-		h.l2[coreID].Access(line, false)
-		h.fillL1(coreID, line, true, ln.Aux)
+	if aux, ok := h.l2[coreID].AccessAux(line, false); ok {
+		h.fillL1Miss(coreID, line, true, aux)
 		return
 	}
 	h.Counters.L2Misses++
 	h.Counters.L3Accesses++
-	if ln, ok := h.l3.Lookup(line); ok {
-		h.l3.Access(line, false)
-		h.fillL2(now, coreID, line, ln.Aux)
-		h.fillL1(coreID, line, true, ln.Aux)
+	if aux, ok := h.l3.AccessAux(line, false); ok {
+		h.fillL2(now, coreID, line, aux)
+		h.fillL1Miss(coreID, line, true, aux)
 		return
 	}
 	h.miss(now, coreID, line, pc, true, nil)
@@ -258,7 +251,7 @@ func (h *Hierarchy) Store(now uint64, coreID int, line, pc uint64) {
 //
 //bear:hotpath
 func (h *Hierarchy) miss(now uint64, coreID int, line, pc uint64, store bool, done event.Func) {
-	if e, ok := h.pending[line]; ok {
+	if e := h.pending.get(line); e != nil {
 		h.Counters.MSHRMerges++
 		e.waiters = append(e.waiters, waiter{done: done, store: store, core: coreID})
 		if store {
@@ -269,7 +262,7 @@ func (h *Hierarchy) miss(now uint64, coreID int, line, pc uint64, store bool, do
 	h.Counters.L3Misses++
 	e := h.getMiss(line, coreID, store)
 	e.waiters = append(e.waiters, waiter{done: done, store: store, core: coreID})
-	h.pending[line] = e
+	h.pending.put(line, e)
 
 	issue := now + h.cfg.L3.Latency // tag lookup discovered the miss
 	h.l4.Read(issue, coreID, line, pc, e.fill)
@@ -278,12 +271,12 @@ func (h *Hierarchy) miss(now uint64, coreID int, line, pc uint64, store bool, do
 // fillL3 installs a line arriving from the L4/memory, recording the DCP
 // presence bit from the read result, and routes the displaced victim.
 func (h *Hierarchy) fillL3(now uint64, coreID int, line uint64, res dramcache.ReadResult) {
-	if _, ok := h.l3.Lookup(line); ok {
+	ev, ok := h.l3.FillIfAbsent(line, false, auxFor(res.InL4))
+	if !ok {
 		// Possible when a back-invalidated line raced a fill; refresh aux.
 		h.l3.SetAux(line, auxFor(res.InL4))
 		return
 	}
-	ev := h.l3.Fill(line, false, auxFor(res.InL4))
 	h.routeL3Victim(now, coreID, ev)
 }
 
@@ -315,14 +308,28 @@ func (h *Hierarchy) routeL3Victim(now uint64, coreID int, ev sram.Eviction) {
 
 // fillL1 installs a line in a private L1, cascading its victim into the L2.
 // The aux byte carries the DCP presence state down the private levels.
+// Asynchronous fill paths use it because the line may have arrived through
+// another path while the miss was in flight; the synchronous hit paths in
+// Load/Store call fillL1Miss, which skips the presence guard.
 func (h *Hierarchy) fillL1(coreID int, line uint64, dirty bool, aux uint8) {
 	if dirty {
 		if h.l1[coreID].Access(line, true) {
 			return
 		}
-	} else if _, ok := h.l1[coreID].Lookup(line); ok {
+		h.fillL1Miss(coreID, line, true, aux)
 		return
 	}
+	if ev, ok := h.l1[coreID].FillIfAbsent(line, false, aux); ok && ev.Valid && ev.Dirty {
+		h.absorbIntoL2(coreID, ev.Addr, ev.Aux)
+	}
+}
+
+// fillL1Miss installs a line known absent from the L1 — the caller observed
+// the miss in the same event, with nothing in between that could have filled
+// it — so the set is swept exactly once.
+//
+//bear:hotpath
+func (h *Hierarchy) fillL1Miss(coreID int, line uint64, dirty bool, aux uint8) {
 	ev := h.l1[coreID].Fill(line, dirty, aux)
 	if ev.Valid && ev.Dirty {
 		h.absorbIntoL2(coreID, ev.Addr, ev.Aux)
@@ -330,23 +337,20 @@ func (h *Hierarchy) fillL1(coreID int, line uint64, dirty bool, aux uint8) {
 }
 
 // fillL2 installs a line in a private L2, cascading its victim into the L3.
+//
+//bear:hotpath
 func (h *Hierarchy) fillL2(now uint64, coreID int, line uint64, aux uint8) {
-	if _, ok := h.l2[coreID].Lookup(line); ok {
-		return
-	}
-	ev := h.l2[coreID].Fill(line, false, aux)
-	if ev.Valid && ev.Dirty {
+	if ev, ok := h.l2[coreID].FillIfAbsent(line, false, aux); ok && ev.Valid && ev.Dirty {
 		h.absorbIntoL3(now, coreID, ev.Addr, ev.Aux)
 	}
 }
 
 // absorbIntoL2 receives a dirty L1 victim.
+//
+//bear:hotpath
 func (h *Hierarchy) absorbIntoL2(coreID int, line uint64, aux uint8) {
-	if h.l2[coreID].SetDirty(line) {
-		return
-	}
-	ev := h.l2[coreID].Fill(line, true, aux)
-	if ev.Valid && ev.Dirty {
+	ev, filled := h.l2[coreID].FillOrDirty(line, aux)
+	if filled && ev.Valid && ev.Dirty {
 		h.absorbIntoL3(h.q.Now(), coreID, ev.Addr, ev.Aux)
 	}
 }
@@ -354,12 +358,13 @@ func (h *Hierarchy) absorbIntoL2(coreID int, line uint64, aux uint8) {
 // absorbIntoL3 receives a dirty L2 victim, preserving the presence state it
 // carried in the private levels so its eventual writeback keeps the DCP
 // guarantee.
+//
+//bear:hotpath
 func (h *Hierarchy) absorbIntoL3(now uint64, coreID int, line uint64, aux uint8) {
-	if h.l3.SetDirty(line) {
-		return
+	ev, filled := h.l3.FillOrDirty(line, aux)
+	if filled {
+		h.routeL3Victim(now, coreID, ev)
 	}
-	ev := h.l3.Fill(line, true, aux)
-	h.routeL3Victim(now, coreID, ev)
 }
 
 var _ cpu.MemPort = (*Hierarchy)(nil)

@@ -4,6 +4,13 @@
 // DRAM cache, SRAM caches have dedicated ports, so this model is purely
 // functional; lookup latency is charged by the hierarchy.
 //
+// The line state is stored struct-of-arrays: parallel tags/meta/aux/lru
+// slabs instead of a []Line array-of-structs. Set scans — the per-access
+// inner loop of every simulated cache level — become branch-light linear
+// sweeps over contiguous uint64 tag words: invalid ways hold a sentinel tag
+// that can never match a real line address, so the match loop tests one
+// word per way and touches meta/aux/lru only on the way it selects.
+//
 // The same structure also backs the Tags-In-SRAM and Sector-Cache tag
 // stores and the Loh-Hill MissMap in internal/dramcache.
 package sram
@@ -27,14 +34,29 @@ type Eviction struct {
 	Aux   uint8
 }
 
+// tagInvalid marks an empty way in the tags slab. Line addresses are byte
+// addresses >> 6, so the all-ones word can never collide with a real line;
+// Fill and Install enforce that.
+const tagInvalid = ^uint64(0)
+
+// meta slab bits.
+const (
+	metaValid = 1 << 0
+	metaDirty = 1 << 1
+)
+
 // Cache is a set-associative cache keyed by line address. The zero value is
 // not usable; call New.
 type Cache struct {
-	sets  uint64
-	ways  int
-	lines []Line   // sets*ways, row-major
-	lru   []uint32 // per-line recency stamps
-	clock uint32
+	sets    uint64
+	setMask uint64 // sets-1 when sets is a power of two
+	pow2    bool
+	ways    int
+	tags    []uint64 // sets*ways, row-major; tagInvalid when the way is empty
+	meta    []uint8  // valid/dirty bits
+	aux     []uint8  // caller-owned auxiliary byte
+	lru     []uint32 // per-line recency stamps
+	clock   uint32
 }
 
 // New creates a cache with the given geometry. sets must be > 0 and ways in
@@ -43,12 +65,21 @@ func New(sets uint64, ways int) *Cache {
 	if sets == 0 || ways <= 0 || ways > 64 {
 		panic(fault.Invariantf("sram", "invalid geometry sets=%d ways=%d", sets, ways))
 	}
-	return &Cache{
-		sets:  sets,
-		ways:  ways,
-		lines: make([]Line, sets*uint64(ways)),
-		lru:   make([]uint32, sets*uint64(ways)),
+	n := sets * uint64(ways)
+	c := &Cache{
+		sets:    sets,
+		setMask: sets - 1,
+		pow2:    sets&(sets-1) == 0,
+		ways:    ways,
+		tags:    make([]uint64, n),
+		meta:    make([]uint8, n),
+		aux:     make([]uint8, n),
+		lru:     make([]uint32, n),
 	}
+	for i := range c.tags {
+		c.tags[i] = tagInvalid
+	}
+	return c
 }
 
 // Sets returns the number of sets.
@@ -57,10 +88,36 @@ func (c *Cache) Sets() uint64 { return c.sets }
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
 
-// SetIndex returns the set an address maps to.
-func (c *Cache) SetIndex(addr uint64) uint64 { return addr % c.sets }
+// SetIndex returns the set an address maps to. Power-of-two set counts (the
+// overwhelmingly common geometry) index with a mask instead of a 64-bit
+// modulo — base sits inside every set sweep.
+//
+//bear:hotpath
+func (c *Cache) SetIndex(addr uint64) uint64 {
+	if c.pow2 {
+		return addr & c.setMask
+	}
+	return addr % c.sets
+}
 
-func (c *Cache) base(addr uint64) uint64 { return (addr % c.sets) * uint64(c.ways) }
+func (c *Cache) base(addr uint64) uint64 { return c.SetIndex(addr) * uint64(c.ways) }
+
+// find returns the slab index of addr's way, or (0, false). Only the tags
+// slab is scanned: invalid ways hold tagInvalid, which never equals a line
+// address, so no validity branch is needed in the sweep.
+//
+//bear:hotpath
+func (c *Cache) find(addr uint64) (uint64, bool) {
+	base := c.base(addr)
+	// One bounds check for the subslice; the range sweep is check-free.
+	tags := c.tags[base : base+uint64(c.ways)]
+	for w, t := range tags {
+		if t == addr {
+			return base + uint64(w), true
+		}
+	}
+	return 0, false
+}
 
 func (c *Cache) touch(i uint64) {
 	if c.clock == ^uint32(0) {
@@ -68,6 +125,11 @@ func (c *Cache) touch(i uint64) {
 	}
 	c.clock++
 	c.lru[i] = c.clock
+}
+
+// lineAt materialises the AoS view of slab index i (valid ways only).
+func (c *Cache) lineAt(i uint64) Line {
+	return Line{Addr: c.tags[i], Valid: true, Dirty: c.meta[i]&metaDirty != 0, Aux: c.aux[i]}
 }
 
 // sortWays insertion-sorts the ways of the set at base by stamp (ways is
@@ -104,12 +166,8 @@ func (c *Cache) rescale() {
 //
 //bear:hotpath
 func (c *Cache) Lookup(addr uint64) (Line, bool) {
-	base := c.base(addr)
-	for w := 0; w < c.ways; w++ {
-		ln := c.lines[base+uint64(w)]
-		if ln.Valid && ln.Addr == addr {
-			return ln, true
-		}
+	if i, ok := c.find(addr); ok {
+		return c.lineAt(i), true
 	}
 	return Line{}, false
 }
@@ -119,18 +177,31 @@ func (c *Cache) Lookup(addr uint64) (Line, bool) {
 //
 //bear:hotpath
 func (c *Cache) Access(addr uint64, write bool) bool {
-	base := c.base(addr)
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if c.lines[i].Valid && c.lines[i].Addr == addr {
-			if write {
-				c.lines[i].Dirty = true
-			}
-			c.touch(i)
-			return true
-		}
+	i, ok := c.find(addr)
+	if !ok {
+		return false
 	}
-	return false
+	if write {
+		c.meta[i] |= metaDirty
+	}
+	c.touch(i)
+	return true
+}
+
+// AccessAux is Access plus the line's aux byte: one set sweep where the
+// hierarchy would otherwise pay a Lookup scan followed by an Access scan.
+//
+//bear:hotpath
+func (c *Cache) AccessAux(addr uint64, write bool) (uint8, bool) {
+	i, ok := c.find(addr)
+	if !ok {
+		return 0, false
+	}
+	if write {
+		c.meta[i] |= metaDirty
+	}
+	c.touch(i)
+	return c.aux[i], true
 }
 
 // FillLRU installs addr like Fill but places it at the LRU position, so it
@@ -146,11 +217,11 @@ func (c *Cache) FillLRU(addr uint64, dirty bool, aux uint8) Eviction {
 	var idx uint64
 	for w := 0; w < c.ways; w++ {
 		i := base + uint64(w)
-		if c.lines[i].Addr == addr && c.lines[i].Valid {
+		if c.tags[i] == addr {
 			idx = i
 			continue
 		}
-		if c.lines[i].Valid && c.lru[i] < minStamp {
+		if c.meta[i]&metaValid != 0 && c.lru[i] < minStamp {
 			minStamp = c.lru[i]
 		}
 	}
@@ -187,92 +258,181 @@ func (c *Cache) FillLRU(addr uint64, dirty bool, aux uint8) Eviction {
 //
 //bear:hotpath
 func (c *Cache) Fill(addr uint64, dirty bool, aux uint8) Eviction {
+	if addr == tagInvalid {
+		panic(fault.Invariantf("sram", "fill of the sentinel line address"))
+	}
 	base := c.base(addr)
 	victim := base
 	var victimStamp uint32 = ^uint32(0)
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if !c.lines[i].Valid {
-			victim = i
+	// Sweep tags and lru only: a way is invalid iff its tag is the sentinel
+	// (New/Invalidate maintain that), so the meta slab stays untouched until
+	// the victim is chosen.
+	tags := c.tags[base : base+uint64(c.ways)]
+	lru := c.lru[base : base+uint64(c.ways)]
+	for w, t := range tags {
+		if t == tagInvalid {
+			victim = base + uint64(w)
 			victimStamp = 0
 			break
 		}
-		if c.lines[i].Addr == addr {
+		if t == addr {
 			panic(fault.Invariantf("sram", "fill of already-present line %#x", addr))
 		}
-		if c.lru[i] < victimStamp {
-			victim, victimStamp = i, c.lru[i]
+		if lru[w] < victimStamp {
+			victim, victimStamp = base+uint64(w), lru[w]
 		}
 	}
-	old := c.lines[victim]
-	c.lines[victim] = Line{Addr: addr, Valid: true, Dirty: dirty, Aux: aux}
+	return c.install(victim, addr, dirty, aux)
+}
+
+// FillIfAbsent installs addr unless it is already present, in one set
+// sweep — where callers would otherwise pay a Lookup scan to guard a Fill
+// scan. Present lines are left untouched (no LRU update); the bool reports
+// whether a fill happened. The victim choice is identical to Fill's: the
+// first invalid way, else the minimum stamp in way order.
+//
+//bear:hotpath
+func (c *Cache) FillIfAbsent(addr uint64, dirty bool, aux uint8) (Eviction, bool) {
+	if addr == tagInvalid {
+		panic(fault.Invariantf("sram", "fill of the sentinel line address"))
+	}
+	base := c.base(addr)
+	victim := base
+	var victimStamp uint32 = ^uint32(0)
+	haveInvalid := false
+	tags := c.tags[base : base+uint64(c.ways)]
+	lru := c.lru[base : base+uint64(c.ways)]
+	for w, t := range tags {
+		if t == addr {
+			return Eviction{}, false
+		}
+		if haveInvalid {
+			continue
+		}
+		if t == tagInvalid {
+			victim, victimStamp, haveInvalid = base+uint64(w), 0, true
+			continue
+		}
+		if lru[w] < victimStamp {
+			victim, victimStamp = base+uint64(w), lru[w]
+		}
+	}
+	return c.install(victim, addr, dirty, aux), true
+}
+
+// FillOrDirty absorbs a dirty victim from an upper level: if addr is present
+// it is marked dirty (replacement state untouched, matching SetDirty);
+// otherwise it is installed dirty. One sweep where callers would pay
+// SetDirty followed by Fill.
+//
+//bear:hotpath
+func (c *Cache) FillOrDirty(addr uint64, aux uint8) (Eviction, bool) {
+	if addr == tagInvalid {
+		panic(fault.Invariantf("sram", "fill of the sentinel line address"))
+	}
+	base := c.base(addr)
+	victim := base
+	var victimStamp uint32 = ^uint32(0)
+	haveInvalid := false
+	tags := c.tags[base : base+uint64(c.ways)]
+	lru := c.lru[base : base+uint64(c.ways)]
+	for w, t := range tags {
+		if t == addr {
+			c.meta[base+uint64(w)] |= metaDirty
+			return Eviction{}, false
+		}
+		if haveInvalid {
+			continue
+		}
+		if t == tagInvalid {
+			victim, victimStamp, haveInvalid = base+uint64(w), 0, true
+			continue
+		}
+		if lru[w] < victimStamp {
+			victim, victimStamp = base+uint64(w), lru[w]
+		}
+	}
+	return c.install(victim, addr, true, aux), true
+}
+
+// install evicts slab index victim and installs addr there, made MRU.
+func (c *Cache) install(victim, addr uint64, dirty bool, aux uint8) Eviction {
+	var ev Eviction
+	if c.tags[victim] != tagInvalid {
+		ev = Eviction{Addr: c.tags[victim], Valid: true, Dirty: c.meta[victim]&metaDirty != 0, Aux: c.aux[victim]}
+	}
+	c.tags[victim] = addr
+	m := uint8(metaValid)
+	if dirty {
+		m |= metaDirty
+	}
+	c.meta[victim] = m
+	c.aux[victim] = aux
 	c.touch(victim)
-	return Eviction{Addr: old.Addr, Valid: old.Valid, Dirty: old.Dirty, Aux: old.Aux}
+	return ev
 }
 
 // Invalidate removes addr if present, returning its metadata (e.g. so a
 // dirty back-invalidated line can be written back).
 func (c *Cache) Invalidate(addr uint64) (Line, bool) {
-	base := c.base(addr)
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if c.lines[i].Valid && c.lines[i].Addr == addr {
-			ln := c.lines[i]
-			c.lines[i] = Line{}
-			c.lru[i] = 0
-			return ln, true
-		}
+	i, ok := c.find(addr)
+	if !ok {
+		return Line{}, false
 	}
-	return Line{}, false
+	ln := c.lineAt(i)
+	c.tags[i] = tagInvalid
+	c.meta[i] = 0
+	c.aux[i] = 0
+	c.lru[i] = 0
+	return ln, true
 }
 
 // SetAux stores aux metadata on addr's line if present.
+//
+//bear:hotpath
 func (c *Cache) SetAux(addr uint64, aux uint8) bool {
-	base := c.base(addr)
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if c.lines[i].Valid && c.lines[i].Addr == addr {
-			c.lines[i].Aux = aux
-			return true
-		}
+	i, ok := c.find(addr)
+	if !ok {
+		return false
 	}
-	return false
+	c.aux[i] = aux
+	return true
 }
 
 // SetDirty marks addr's line dirty if present.
+//
+//bear:hotpath
 func (c *Cache) SetDirty(addr uint64) bool {
-	base := c.base(addr)
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if c.lines[i].Valid && c.lines[i].Addr == addr {
-			c.lines[i].Dirty = true
-			return true
-		}
+	i, ok := c.find(addr)
+	if !ok {
+		return false
 	}
-	return false
+	c.meta[i] |= metaDirty
+	return true
 }
 
 // WayOf returns the way within its set where addr resides, used by
 // tags-in-SRAM designs to locate the corresponding data-store frame.
+//
+//bear:hotpath
 func (c *Cache) WayOf(addr uint64) (int, bool) {
-	base := c.base(addr)
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if c.lines[i].Valid && c.lines[i].Addr == addr {
-			return w, true
-		}
+	i, ok := c.find(addr)
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return int(i - c.base(addr)), true
 }
 
 // VictimWay returns the way the next fill into addr's set would use.
+//
+//bear:hotpath
 func (c *Cache) VictimWay(addr uint64) int {
 	base := c.base(addr)
 	victim := 0
 	var victimStamp uint32 = ^uint32(0)
 	for w := 0; w < c.ways; w++ {
 		i := base + uint64(w)
-		if !c.lines[i].Valid {
+		if c.tags[i] == tagInvalid {
 			return w
 		}
 		if c.lru[i] < victimStamp {
@@ -290,22 +450,21 @@ func (c *Cache) Victim(addr uint64) Eviction {
 	var victimStamp uint32 = ^uint32(0)
 	for w := 0; w < c.ways; w++ {
 		i := base + uint64(w)
-		if !c.lines[i].Valid {
+		if c.tags[i] == tagInvalid {
 			return Eviction{}
 		}
 		if c.lru[i] < victimStamp {
 			victim, victimStamp = i, c.lru[i]
 		}
 	}
-	old := c.lines[victim]
-	return Eviction{Addr: old.Addr, Valid: true, Dirty: old.Dirty, Aux: old.Aux}
+	return Eviction{Addr: c.tags[victim], Valid: true, Dirty: c.meta[victim]&metaDirty != 0, Aux: c.aux[victim]}
 }
 
 // Range calls fn for every valid line; fn returning false stops iteration.
 func (c *Cache) Range(fn func(Line) bool) {
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			if !fn(c.lines[i]) {
+	for i := range c.tags {
+		if c.meta[i]&metaValid != 0 {
+			if !fn(c.lineAt(uint64(i))) {
 				return
 			}
 		}
@@ -315,8 +474,8 @@ func (c *Cache) Range(fn func(Line) bool) {
 // Count returns the number of valid lines (for tests).
 func (c *Cache) Count() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid {
+	for i := range c.meta {
+		if c.meta[i]&metaValid != 0 {
 			n++
 		}
 	}

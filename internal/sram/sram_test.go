@@ -200,6 +200,52 @@ func TestRescale(t *testing.T) {
 	}
 }
 
+// TestRescaleWraparound drives the stamp clock to its wraparound point mid-
+// scan and asserts that every set's full LRU order — established by touches
+// issued both before and after the rescale — is preserved exactly. The
+// renumbering must be invisible: eviction order afterwards equals the touch
+// order, across all sets, including sets the overflow-triggering touch never
+// visited.
+func TestRescaleWraparound(t *testing.T) {
+	const sets, ways = 4, 8
+	c := New(sets, ways)
+	// Fill every set; touch order within set s is addr s, s+sets, s+2*sets...
+	for w := 0; w < ways; w++ {
+		for s := uint64(0); s < sets; s++ {
+			c.Fill(s+uint64(w)*sets, false, 0)
+		}
+	}
+	// Establish a distinctive recency order per set: promote odd ways, so
+	// LRU order becomes even ways in fill order, then odd ways.
+	for w := 1; w < ways; w += 2 {
+		for s := uint64(0); s < sets; s++ {
+			c.Access(s+uint64(w)*sets, false)
+		}
+	}
+	// Park the clock so the very next touch hits the wraparound guard.
+	c.clock = ^uint32(0)
+	c.Access(0, false) // triggers rescale, then re-touches line 0 (set 0)
+	if c.clock == ^uint32(0) || c.clock < uint32(ways) {
+		t.Fatalf("clock = %d after rescale, want compacted stamps", c.clock)
+	}
+	// Touches after the rescale must compose with the preserved order.
+	c.Access(1+2*sets, false) // set 1, way 2 (an even way) becomes MRU
+	wantOrder := map[uint64][]uint64{
+		0: {2 * sets, 4 * sets, 6 * sets, sets, 3 * sets, 5 * sets, 7 * sets, 0},
+		1: {1, 1 + 4*sets, 1 + 6*sets, 1 + sets, 1 + 3*sets, 1 + 5*sets, 1 + 7*sets, 1 + 2*sets},
+		2: {2, 2 + 2*sets, 2 + 4*sets, 2 + 6*sets, 2 + sets, 2 + 3*sets, 2 + 5*sets, 2 + 7*sets},
+		3: {3, 3 + 2*sets, 3 + 4*sets, 3 + 6*sets, 3 + sets, 3 + 3*sets, 3 + 5*sets, 3 + 7*sets},
+	}
+	for s := uint64(0); s < sets; s++ {
+		for i, want := range wantOrder[s] {
+			ev := c.Fill(s+uint64(ways+i)*sets, false, 0)
+			if !ev.Valid || ev.Addr != want {
+				t.Fatalf("set %d eviction %d: got %#x want %#x", s, i, ev.Addr, want)
+			}
+		}
+	}
+}
+
 // Model-based property test: the cache agrees with a reference map +
 // recency list under random operations.
 func TestModelEquivalence(t *testing.T) {

@@ -142,6 +142,7 @@ type Gen struct {
 	seqCursor uint64
 
 	missFrac float64
+	gapPerOp float64 // 1000/APKI - 1, hoisted off the per-op path
 	nonMemQ  float64 // fractional non-mem instructions carried over
 
 	recent    [64]uint64
@@ -175,6 +176,7 @@ func NewGen(b Benchmark, core int, scale int, seed uint64) *Gen {
 		footLines: perCoreLines,
 		hotLines:  hotLines,
 		missFrac:  b.MPKI / b.APKI,
+		gapPerOp:  1000/b.APKI - 1,
 	}
 	// Hot region sits in the middle of the footprint.
 	g.hotBase = g.base + perCoreLines/4
@@ -231,7 +233,7 @@ func (g *Gen) storeLine(line uint64) bool {
 // Next fills op with the next trace record.
 func (g *Gen) Next(op *Op) {
 	// Non-memory gap: APKI memory ops per 1000 instructions.
-	g.nonMemQ += 1000/g.b.APKI - 1
+	g.nonMemQ += g.gapPerOp
 	nm := uint32(g.nonMemQ)
 	g.nonMemQ -= float64(nm)
 	op.NonMem = nm

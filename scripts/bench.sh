@@ -3,8 +3,10 @@
 # into the next free BENCH_<n>.json at the repository root.
 #
 # Successive snapshots (BENCH_1.json, BENCH_2.json, ...) record the perf
-# trajectory across PRs: each file carries ns/instr and allocs/instr for the
-# steady-state hot path of the Alloy and BEAR designs (see simbench_test.go).
+# trajectory across PRs: each file carries per-design ns/instr and
+# allocs/instr for the steady-state hot path of every composition the
+# experiments run — NoL4, Alloy, BEAR, BW-Opt, LH, MC, Incl-Alloy, TIS and
+# SC (see simbench_test.go).
 #
 #   scripts/bench.sh              # one sample per benchmark
 #   COUNT=5 scripts/bench.sh      # five samples; the snapshot keeps the best
@@ -19,7 +21,7 @@ out="BENCH_${n}.json"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSim(Alloy|BEAR)$' -benchtime "${BENCHTIME:-1x}" \
+go test -run '^$' -bench 'BenchmarkSim' -benchtime "${BENCHTIME:-1x}" \
 	-count "${COUNT:-1}" . | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | { read -r _ _ v _; echo "$v"; })" '

@@ -1,0 +1,39 @@
+#!/bin/sh
+# profile.sh — capture a CPU profile of one full simulation and render the
+# top-20 hottest functions as a text artifact.
+#
+# Runs bearsim with -cpuprofile over a single design/workload (defaults:
+# Alloy / mcf, the headline benchmark configuration) and leaves both the raw
+# pprof profile and a human-readable summary under profiles/:
+#
+#   profiles/cpu_<design>_<workload>.pprof    # raw; open with `go tool pprof`
+#   profiles/cpu_<design>_<workload>.txt      # `pprof -top -nodecount=20`
+#
+#   make profile                              # Alloy / mcf
+#   DESIGN=BEAR WORKLOAD=lbm scripts/profile.sh
+#
+# WARM/MEAS default to a longer run than the unit benchmarks so the profile
+# has enough samples for stable line-level attribution.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+design=${DESIGN:-Alloy}
+workload=${WORKLOAD:-mcf}
+scale=${SCALE:-256}
+warm=${WARM:-150000}
+meas=${MEAS:-2000000}
+
+mkdir -p profiles
+slug=$(echo "${design}_${workload}" | tr 'A-Z' 'a-z' | tr -c 'a-z0-9_' '_' | sed 's/_*$//')
+raw="profiles/cpu_${slug}.pprof"
+txt="profiles/cpu_${slug}.txt"
+
+go run ./cmd/bearsim -design "$design" -workload "$workload" \
+	-scale "$scale" -warm "$warm" -meas "$meas" -cpuprofile "$raw"
+
+go tool pprof -top -nodecount=20 "$raw" > "$txt"
+
+echo "wrote $raw"
+echo "wrote $txt"
+cat "$txt"

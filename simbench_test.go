@@ -70,3 +70,31 @@ func BenchmarkSimAlloy(b *testing.B) { benchSim(b, config.Alloy) }
 // additionally exercises the bypass, presence and tag-cache policy code on
 // every access.
 func BenchmarkSimBEAR(b *testing.B) { benchSim(b, config.BEAR) }
+
+// The remaining compositions cover every other design the experiments run,
+// so a regression in any design-specific path (sectored tags, inclusion
+// back-invalidates, the no-L4 memory path, ...) shows up in the snapshot
+// trajectory, not only in the two headline designs above.
+
+// BenchmarkSimNoL4 measures the no-DRAM-cache floor: L3 misses go straight
+// to main memory, so this isolates cpu + hier + dram with no L4 code at all.
+func BenchmarkSimNoL4(b *testing.B) { benchSim(b, config.NoL4) }
+
+// BenchmarkSimBWOpt measures the idealised bandwidth-optimized cache.
+func BenchmarkSimBWOpt(b *testing.B) { benchSim(b, config.BWOpt) }
+
+// BenchmarkSimLH measures the Loh-Hill tags-in-DRAM design.
+func BenchmarkSimLH(b *testing.B) { benchSim(b, config.LohHill) }
+
+// BenchmarkSimMC measures the Mostly-Clean write-policy design.
+func BenchmarkSimMC(b *testing.B) { benchSim(b, config.MostlyClean) }
+
+// BenchmarkSimInclAlloy measures Alloy with inclusion enforced, which adds
+// back-invalidate traffic into the on-chip levels on every L4 eviction.
+func BenchmarkSimInclAlloy(b *testing.B) { benchSim(b, config.InclAlloy) }
+
+// BenchmarkSimTIS measures the tags-in-SRAM idealisation.
+func BenchmarkSimTIS(b *testing.B) { benchSim(b, config.TIS) }
+
+// BenchmarkSimSC measures the sectored cache design.
+func BenchmarkSimSC(b *testing.B) { benchSim(b, config.Sector) }
