@@ -1,0 +1,116 @@
+package dram
+
+import (
+	"testing"
+
+	"bear/internal/config"
+	"bear/internal/event"
+	"bear/internal/rng"
+)
+
+// TestDifferentialFuzz holds the incremental per-bank scheduler to the
+// naive reference picker (reference.go) over randomized geometries and
+// request streams. SelfCheck re-derives every pick through refPick and
+// panics on any divergence in bank, queue position, start cycle or row-hit
+// classification, so a passing run certifies bit-identical scheduling; the
+// periodic CheckInvariants calls additionally diff the per-bank class
+// memos, occupancy bits and scan-window accounting against fresh
+// recomputation mid-stream, not just at quiescence.
+//
+// The stream generator is aimed at the scheduler's hard cases: refresh
+// windows the candidate starts straddle, write floods that trip the drain
+// watermarks and push pools past the scan limit into windowed mode, tight
+// row spaces that mix row hits and conflicts per bank, bursts of varying
+// length (refresh alignment depends on it), and non-monotone enqueue
+// times — requests issued at now + a random path latency, the way the
+// cache hierarchy issues them — which is exactly the case that breaks
+// naive "first hit of the bank wins" reasoning.
+func TestDifferentialFuzz(t *testing.T) {
+	const trials = 64
+	seeds := rng.New(0xbea7d1ff)
+	for trial := 0; trial < trials; trial++ {
+		seed := seeds.Uint64()
+		t.Run("", func(t *testing.T) {
+			runDiffTrial(t, seed)
+		})
+	}
+}
+
+func runDiffTrial(t *testing.T, seed uint64) {
+	r := rng.New(seed)
+	cfg := config.DRAM{
+		Channels:      1 + int(r.Uint64n(3)),
+		Banks:         1 << r.Uint64n(4),
+		BytesPerCycle: 4 << r.Uint64n(3),
+		RowBytes:      2048,
+		TCAS:          5 + r.Uint64n(40),
+		TRCD:          5 + r.Uint64n(40),
+		TRP:           5 + r.Uint64n(40),
+		TRAS:          20 + r.Uint64n(130),
+	}
+	if r.Uint64n(2) == 0 {
+		cfg.TFAW = 50 + r.Uint64n(200)
+	}
+	if r.Uint64n(2) == 0 {
+		cfg.TRFC = 50 + r.Uint64n(250)
+		cfg.TREFI = cfg.TRFC + 300 + r.Uint64n(1700)
+	}
+	cfg.WriteQLo = 2 + int(r.Uint64n(8))
+	cfg.WriteQHi = cfg.WriteQLo + 2 + int(r.Uint64n(24))
+
+	var q event.Queue
+	m := New("fuzz", cfg, &q)
+	m.SelfCheck = true
+
+	rows := 1 + r.Uint64n(6) // tiny row space: hits and conflicts interleave
+	steps := 100 + int(r.Uint64n(300))
+	reads, completions := 0, 0
+	var now uint64
+	for i := 0; i < steps; i++ {
+		if cfg.TREFI > 0 && r.Uint64n(8) == 0 {
+			// Jump near a refresh boundary so candidate bursts straddle it.
+			now += cfg.TREFI/2 + r.Uint64n(cfg.TREFI)
+		} else {
+			now += r.Uint64n(40)
+		}
+		q.RunUntil(now)
+
+		n := 1 + r.Uint64n(4)
+		if r.Uint64n(10) == 0 {
+			// Flood: trips the drain watermarks and pushes a pool past the
+			// scan limit into windowed mode.
+			n += scanLimit + r.Uint64n(scanLimit)
+		}
+		for j := uint64(0); j < n; j++ {
+			issue := now + r.Uint64n(60) // hierarchy-style future issue cycle
+			ch := int(r.Uint64n(uint64(cfg.Channels)))
+			bk := int(r.Uint64n(uint64(cfg.Banks)))
+			row := r.Uint64n(rows)
+			bytes := int(16 * (1 + r.Uint64n(8)))
+			if r.Uint64n(3) == 0 {
+				m.Write(issue, ch, bk, row, bytes)
+			} else {
+				reads++
+				m.Read(issue, ch, bk, row, bytes, func(uint64) { completions++ })
+			}
+		}
+		if i%16 == 0 {
+			if err := m.CheckInvariants(0); err != nil {
+				t.Fatalf("seed %#x step %d: %v", seed, i, err)
+			}
+		}
+	}
+	q.Run(nil)
+	if err := m.CheckInvariants(0); err != nil {
+		t.Fatalf("seed %#x drained: %v", seed, err)
+	}
+	if completions != reads {
+		t.Fatalf("seed %#x: %d of %d reads completed", seed, completions, reads)
+	}
+	if p := m.Pending(); p != 0 {
+		t.Fatalf("seed %#x: %d requests pending after drain", seed, p)
+	}
+	if m.Stats.MaxWriteQLen > 0 && m.Stats.MaxWriteQLen < cfg.WriteQLo && m.Stats.Writes > uint64(cfg.WriteQHi) {
+		t.Fatalf("seed %#x: MaxWriteQLen %d implausible for %d writes", seed, m.Stats.MaxWriteQLen, m.Stats.Writes)
+	}
+}

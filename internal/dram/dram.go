@@ -16,15 +16,29 @@
 // The same model instantiates both the stacked-DRAM cache (high bandwidth)
 // and the DDR main memory (low bandwidth); only the config differs.
 //
+// Selection is incremental rather than a per-kick rescan: each channel
+// splits its read and write queues into per-bank FIFOs and memoizes, per
+// bank, the position of the earliest-arrival row hit and row miss under the
+// bank's current open row. A pick is then a min over at most Banks cached
+// candidates by (burst start, row-hit, arrival order) — bit-exactly the
+// winner the old bounded scan of the scanLimit oldest requests produced —
+// with the memos invalidated only by the events that can change them: an
+// enqueue to the bank, a removal from the bank's FIFO, or an open-row
+// change (a row-miss commit). See pick for the exactness argument and
+// reference.go for the naive scan the differential tests and -check mode
+// hold it to.
+//
 // The per-transaction hot path is steady-state allocation-free: Request
 // objects are recycled through a per-Memory freelist (a request completes
 // deterministically in its completion event, where it is returned to the
 // pool), each request carries a pre-bound completion callback so scheduling
-// one costs no closure allocation, and the per-channel queues are head-index
-// rings so the common FCFS dequeue never copies the queue tail.
+// one costs no closure allocation, and the per-bank queues are head-index
+// rings so the FCFS dequeue never copies the queue tail.
 package dram
 
 import (
+	"math/bits"
+
 	"bear/internal/config"
 	"bear/internal/event"
 	"bear/internal/fault"
@@ -48,6 +62,7 @@ type Request struct {
 
 	enqueued uint64
 	burst    uint64 // data-burst cycles, computed once at Enqueue
+	seq      uint64 // per-channel arrival stamp: the FIFO tie-break order
 
 	m      *Memory    // memory this request is bound to
 	fn     event.Func // pre-bound r.complete, created once per Request
@@ -57,15 +72,16 @@ type Request struct {
 
 // Stats aggregates per-memory counters.
 type Stats struct {
-	ReadBytes   uint64
-	WriteBytes  uint64
-	Reads       uint64
-	Writes      uint64
-	RowHits     uint64
-	RowMisses   uint64
-	ReadQDelay  uint64 // sum over reads of (completion - enqueue)
-	BusBusy     uint64 // cycles the data bus carried data (all channels)
-	MaxReadQLen int
+	ReadBytes    uint64
+	WriteBytes   uint64
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64
+	ReadQDelay   uint64 // sum over reads of (completion - enqueue)
+	BusBusy      uint64 // cycles the data bus carried data (all channels)
+	MaxReadQLen  int    // peak per-channel read-queue depth
+	MaxWriteQLen int    // peak per-channel write-queue depth (drain pressure)
 }
 
 // AvgReadLatency returns mean read service time (queue + access + burst).
@@ -93,60 +109,328 @@ type bank struct {
 	openAt    uint64 // cycle the open row became CAS-ready
 }
 
-// reqQ is a FIFO request queue with O(1) head removal: a slice plus a head
-// index. Removing the head (the common FCFS pick) just advances the index;
-// the vacated prefix is reclaimed by compacting on a later push once it
-// dominates the backing array, which keeps pushes amortised O(1) without
-// ever copying on the scheduler's critical pick path.
-type reqQ struct {
-	buf  []*Request
+// ent mirrors the four Request fields the scheduler's timing math reads —
+// arrival stamp, row, enqueue cycle and burst length — so candidate
+// evaluation walks a dense array instead of chasing a *Request per entry.
+// Requests are freelist-recycled and land wherever the allocator put them;
+// their cache lines are the scheduler's dominant memory traffic without
+// this mirror. The fields are immutable for a queued request, so the copy
+// cannot go stale (checkPool diffs it against the Request anyway).
+type ent struct {
+	seq uint64
+	row uint64
+	enq uint64
+	bur uint64
+}
+
+// bankQ is one bank's FIFO of pending requests with O(1) head removal: a
+// request slice, its ent mirror, and a shared head index. Removing the head
+// (the overwhelmingly common pick under per-bank splitting) just advances
+// the index; the vacated prefix is reclaimed by compacting on a later push
+// once it dominates the backing array, which keeps pushes amortised O(1)
+// without ever copying on the scheduler's critical pick path.
+type bankQ struct {
+	req  []*Request
+	ent  []ent
 	head int
 }
 
 // Len reports the number of queued requests.
-func (q *reqQ) Len() int { return len(q.buf) - q.head }
+func (q *bankQ) Len() int { return len(q.req) - q.head }
 
 // At returns the i-th queued request in FIFO order.
-func (q *reqQ) At(i int) *Request { return q.buf[q.head+i] }
+func (q *bankQ) At(i int) *Request { return q.req[q.head+i] }
+
+// at returns the scheduler's view of the i-th queued request.
+//
+//bear:hotpath
+func (q *bankQ) at(i int) *ent { return &q.ent[q.head+i] }
 
 // Push appends a request, compacting the dead prefix when it has grown to
 // half the backing array.
-func (q *reqQ) Push(r *Request) {
-	if q.head > 0 && q.head*2 >= cap(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		for i := n; i < len(q.buf); i++ {
-			q.buf[i] = nil
+func (q *bankQ) Push(r *Request) {
+	if q.head > 0 && q.head*2 >= cap(q.req) {
+		n := copy(q.req, q.req[q.head:])
+		copy(q.ent, q.ent[q.head:])
+		for i := n; i < len(q.req); i++ {
+			q.req[i] = nil
 		}
-		q.buf = q.buf[:n]
+		q.req = q.req[:n]
+		q.ent = q.ent[:n]
 		q.head = 0
 	}
-	q.buf = append(q.buf, r)
+	q.req = append(q.req, r)
+	q.ent = append(q.ent, ent{seq: r.seq, row: r.Row, enq: r.enqueued, bur: r.burst})
 }
 
 // RemoveAt removes and returns the i-th queued request. i == 0 is O(1);
-// other positions shift the tail, bounded by the scheduler's scan limit.
-func (q *reqQ) RemoveAt(i int) *Request {
+// other positions (taken only when a refresh push reorders starts within a
+// bank) shift the tail, bounded by the bank's share of the scan window.
+func (q *bankQ) RemoveAt(i int) *Request {
 	j := q.head + i
-	r := q.buf[j]
+	r := q.req[j]
 	if i == 0 {
-		q.buf[j] = nil
+		q.req[j] = nil
 		q.head++
-		if q.head == len(q.buf) {
-			q.buf = q.buf[:0]
+		if q.head == len(q.req) {
+			q.req = q.req[:0]
+			q.ent = q.ent[:0]
 			q.head = 0
 		}
 		return r
 	}
-	copy(q.buf[j:], q.buf[j+1:])
-	q.buf[len(q.buf)-1] = nil
-	q.buf = q.buf[:len(q.buf)-1]
+	copy(q.req[j:], q.req[j+1:])
+	copy(q.ent[j:], q.ent[j+1:])
+	q.req[len(q.req)-1] = nil
+	q.req = q.req[:len(q.req)-1]
+	q.ent = q.ent[:len(q.ent)-1]
 	return r
 }
 
+// Sentinels for pool.firstHit / pool.firstMiss.
+const (
+	classStale = -2 // the bank's open row changed; rebuild on next use
+	classNone  = -1 // no queued request of that class
+)
+
+// pool is one channel's read or write queue, split into per-bank FIFOs
+// (arrival order within each bank; the global FIFO order is recovered from
+// Request.seq) with the scheduler's incrementally maintained state:
+//
+//   - firstHit[b]/firstMiss[b] memoize the FIFO position of bank b's
+//     earliest-arrival row hit / row miss under the bank's current open
+//     row, and nHit[b] the bank's total queued hits. An enqueue or removal
+//     updates them in place; a row-miss commit to the bank (the only event
+//     that reclassifies queued requests) marks them classStale for a lazy
+//     rebuild in ensureClass.
+//   - win[b] is how many of bank b's requests fall inside the scan window
+//     — the min(scanLimit, size) oldest requests of the whole pool. Each
+//     bank's in-window requests are a prefix of its FIFO, because per-bank
+//     arrival order is a subsequence of the global one; while the pool
+//     fits the window entirely, win[b] simply equals the FIFO length.
+//   - ex records, in arrival order, every request that joined the pool
+//     outside the scan window. Promoting the oldest excluded request after
+//     a removal pops the ring instead of scanning every bank.
+type pool struct {
+	bq   []bankQ
+	size int    // total queued requests across banks
+	occ  uint64 // bitmask of banks with a non-empty FIFO (Banks <= 64)
+
+	firstHit  []int32
+	firstMiss []int32
+	nHit      []int32
+
+	win []int32
+	ex  exRing
+}
+
+// exRing is the pool's excluded-arrivals ring: (bank, seq) pairs in push
+// order (which is seq order) for every request that joined outside the scan
+// window, with the usual head-index + compaction idiom. Entries are popped
+// lazily: a promoted request's entry is popped at promotion; entries whose
+// request was promoted when the pool drained to the window size (removals
+// below it never consult the ring) die in place and are skipped — detected
+// by the seq at the owning bank's window boundary no longer matching — the
+// next time a promotion walks the front.
+type exRing struct {
+	seq  []uint64
+	bank []int32
+	head int
+}
+
+//bear:hotpath
+func (x *exRing) push(seq uint64, bank int32) {
+	if x.head > 0 && x.head*2 >= cap(x.seq) {
+		n := copy(x.seq, x.seq[x.head:])
+		copy(x.bank, x.bank[x.head:])
+		x.seq = x.seq[:n]
+		x.bank = x.bank[:n]
+		x.head = 0
+	}
+	x.seq = append(x.seq, seq)
+	x.bank = append(x.bank, bank)
+}
+
+func (p *pool) init(banks int) {
+	p.bq = make([]bankQ, banks)
+	p.firstHit = make([]int32, banks)
+	p.firstMiss = make([]int32, banks)
+	p.nHit = make([]int32, banks)
+	p.win = make([]int32, banks)
+	for i := 0; i < banks; i++ {
+		p.firstHit[i] = classNone
+		p.firstMiss[i] = classNone
+	}
+}
+
+// push appends r to its bank's FIFO and folds it into the class memos: an
+// appended request can only become the first of its class if the bank had
+// none queued. The window admits the newcomer only while the pool still
+// fits inside it; once full, the newcomer has the largest seq and joins the
+// excluded suffix, leaving win untouched — O(1) either way, which matters
+// because the write-drain low watermark parks pools right at the window
+// boundary.
+//
+//bear:hotpath
+func (p *pool) push(c *channel, r *Request) {
+	b := r.Bank
+	q := &p.bq[b]
+	at := int32(q.Len())
+	q.Push(r)
+	p.size++
+	p.occ |= 1 << uint(b)
+	if p.firstHit[b] != classStale {
+		bk := &c.banks[b]
+		if bk.hasOpen && bk.openRow == r.Row {
+			p.nHit[b]++
+			if p.firstHit[b] == classNone {
+				p.firstHit[b] = at
+			}
+		} else if p.firstMiss[b] == classNone {
+			p.firstMiss[b] = at
+		}
+	}
+	if p.size <= scanLimit {
+		p.win[b]++
+	} else {
+		p.ex.push(r.seq, int32(b))
+	}
+}
+
+// remove extracts the request at position idx of bank b's FIFO (always an
+// in-window position: only picked requests are removed) and repairs the
+// class memos across the shift. Removing the first of a class rescans the
+// suffix for its successor — everything before it is the other class by
+// definition of "first". The repair is skipped when the caller passes
+// stale: a row-miss commit follows, which reclassifies the whole bank and
+// marks both pools' memos for rebuild anyway — and the miss pick is the
+// dominant removal, so the dominant removal does no memo work at all.
+// The window loses one of the pool's oldest-16, so
+// the globally oldest excluded request is promoted to keep the window the
+// scanLimit oldest: the front of the excluded ring, past any entries whose
+// requests already re-entered the window. The ring front is provably the
+// owning bank's first excluded request — its bank's earlier excluded
+// arrivals have smaller seqs, sat ahead of it in the ring, and were
+// promoted (or skipped) before it — so it sits exactly at win[bank].
+//
+//bear:hotpath
+func (p *pool) remove(c *channel, b int, idx int32, stale bool) *Request {
+	q := &p.bq[b]
+	r := q.RemoveAt(int(idx))
+	p.size--
+	if q.Len() == 0 {
+		p.occ &^= 1 << uint(b)
+	}
+	if stale {
+		p.firstHit[b] = classStale
+	} else if p.firstHit[b] != classStale {
+		bk := &c.banks[b]
+		if bk.hasOpen && bk.openRow == r.Row {
+			p.nHit[b]--
+			if fh := p.firstHit[b]; fh == idx {
+				p.firstHit[b] = p.scanFor(c, b, idx, true)
+			} else if fh > idx {
+				p.firstHit[b] = fh - 1
+			}
+			if fm := p.firstMiss[b]; fm > idx {
+				p.firstMiss[b] = fm - 1
+			}
+		} else {
+			if fm := p.firstMiss[b]; fm == idx {
+				p.firstMiss[b] = p.scanFor(c, b, idx, false)
+			} else if fm > idx {
+				p.firstMiss[b] = fm - 1
+			}
+			if fh := p.firstHit[b]; fh > idx {
+				p.firstHit[b] = fh - 1
+			}
+		}
+	}
+	p.win[b]--
+	if p.size >= scanLimit {
+		// The pool still overflows the window (or fills it exactly), so an
+		// excluded request exists; promote the oldest one in.
+		for {
+			eb := int(p.ex.bank[p.ex.head])
+			es := p.ex.seq[p.ex.head]
+			p.ex.head++
+			eq := &p.bq[eb]
+			w := int(p.win[eb])
+			if w < eq.Len() && eq.ent[eq.head+w].seq == es {
+				p.win[eb]++
+				break
+			}
+			// Dead entry: its request was promoted as the pool last drained
+			// through the window boundary. Skip it.
+		}
+		if p.ex.head == len(p.ex.seq) {
+			p.ex.seq = p.ex.seq[:0]
+			p.ex.bank = p.ex.bank[:0]
+			p.ex.head = 0
+		}
+	}
+	return r
+}
+
+// scanFor returns the FIFO position of bank b's earliest request of the
+// given class at or after position from, or classNone.
+//
+//bear:hotpath
+func (p *pool) scanFor(c *channel, b int, from int32, wantHit bool) int32 {
+	q := &p.bq[b]
+	bk := &c.banks[b]
+	ents := q.ent[q.head:]
+	for i := int(from); i < len(ents); i++ {
+		if (bk.hasOpen && bk.openRow == ents[i].row) == wantHit {
+			return int32(i)
+		}
+	}
+	return classNone
+}
+
+// ensureClass rebuilds bank b's class memos after an open-row change.
+//
+//bear:hotpath
+func (p *pool) ensureClass(c *channel, b int) {
+	if p.firstHit[b] != classStale {
+		return
+	}
+	q := &p.bq[b]
+	fh, fm, n := int32(classNone), int32(classNone), int32(0)
+	if bk := &c.banks[b]; bk.hasOpen {
+		row := bk.openRow
+		ents := q.ent[q.head:]
+		for i := range ents {
+			if ents[i].row == row {
+				n++
+				if fh == classNone {
+					fh = int32(i)
+				}
+			} else if fm == classNone {
+				fm = int32(i)
+			}
+		}
+	} else if q.Len() > 0 {
+		fm = 0 // no open row: everything queued is a miss
+	}
+	p.firstHit[b], p.firstMiss[b], p.nHit[b] = fh, fm, n
+}
+
+// markStale flags bank b's class memos for rebuild; commit calls it when an
+// activate changes the bank's open row (row-hit commits leave the open row
+// — and therefore every queued request's classification — untouched).
+//
+//bear:hotpath
+func (p *pool) markStale(b int) {
+	p.firstHit[b] = classStale
+	p.firstMiss[b] = classStale
+}
+
 type channel struct {
-	banks  []bank
-	readQ  reqQ
-	writeQ reqQ
+	banks []bank
+	read  pool
+	write pool
+	seq   uint64 // next arrival stamp, shared by both pools
 
 	busFreeAt uint64
 	draining  bool
@@ -155,12 +439,12 @@ type channel struct {
 	acts   [4]uint64 // last four activate times (tFAW window)
 	actPos int       // index of the oldest entry in acts
 
-	// stallStart memoizes the best feasible burst start of the last scan
+	// stallStart memoizes the best feasible burst start of the last pick
 	// that failed the commit-ahead horizon, and stallNow the time it was
 	// computed at. Candidate starts depend only on queue contents, bank
 	// state, the bus, and now — the first three change only in Enqueue and
 	// commit (which clear the memo), and starts are monotone in now — so a
-	// re-kick at a time >= stallNow can skip the scan while the memoized
+	// re-kick at a time >= stallNow can skip the pick while the memoized
 	// start still misses the horizon. Kicks are not monotone in time
 	// (Enqueue may run at a future issue cycle), so earlier re-kicks must
 	// rescan.
@@ -169,10 +453,20 @@ type channel struct {
 	stallValid bool
 }
 
+// maxBanks bounds banks per channel: pool.occ is a uint64 bank bitmask.
+const maxBanks = 64
+
 // Memory is one DRAM subsystem.
 type Memory struct {
 	Name  string
 	Stats Stats
+
+	// SelfCheck makes every scheduling decision re-derive itself through
+	// the naive reference picker (reference.go) and panic with a typed
+	// invariant fault on divergence. The watchdog's -check mode turns it
+	// on; it perturbs nothing — picks, timings and stats are identical —
+	// and only costs time.
+	SelfCheck bool
 
 	cfg  config.DRAM
 	q    *event.Queue
@@ -180,14 +474,28 @@ type Memory struct {
 	free *Request // recycled Request freelist
 
 	refBase, refEnd uint64 // memoized refresh period [k*tREFI, (k+1)*tREFI)
+	refSafe         uint64 // refBase + tRFC: first cycle clear of the period's refresh
+	rcdCas          uint64 // tRCD + tCAS: the activate-to-data latency add
 }
 
 // New creates a Memory with the given geometry attached to the event queue.
 func New(name string, cfg config.DRAM, q *event.Queue) *Memory {
-	m := &Memory{Name: name, cfg: cfg, q: q}
+	if cfg.Banks > maxBanks {
+		panic(fault.Invariantf("dram", "%s: %d banks per channel exceeds the supported %d",
+			name, cfg.Banks, maxBanks))
+	}
+	m := &Memory{Name: name, cfg: cfg, q: q, rcdCas: cfg.TRCD + cfg.TCAS}
+	if cfg.TREFI == 0 {
+		// No refresh: a degenerate all-time memo makes every alignRefresh
+		// take the inline already-aligned path.
+		m.refEnd = ^uint64(0)
+	}
 	m.ch = make([]*channel, cfg.Channels)
 	for i := range m.ch {
-		m.ch[i] = &channel{banks: make([]bank, cfg.Banks)}
+		c := &channel{banks: make([]bank, cfg.Banks)}
+		c.read.init(cfg.Banks)
+		c.write.init(cfg.Banks)
+		m.ch[i] = c
 	}
 	return m
 }
@@ -245,12 +553,17 @@ func (m *Memory) Enqueue(now uint64, r *Request) {
 	r.enqueued = now
 	r.burst = uint64((r.Bytes + m.cfg.BytesPerCycle - 1) / m.cfg.BytesPerCycle)
 	c := m.ch[r.Channel]
+	r.seq = c.seq
+	c.seq++
 	if r.Write {
-		c.writeQ.Push(r)
+		c.write.push(c, r)
+		if c.write.size > m.Stats.MaxWriteQLen {
+			m.Stats.MaxWriteQLen = c.write.size
+		}
 	} else {
-		c.readQ.Push(r)
-		if c.readQ.Len() > m.Stats.MaxReadQLen {
-			m.Stats.MaxReadQLen = c.readQ.Len()
+		c.read.push(c, r)
+		if c.read.size > m.Stats.MaxReadQLen {
+			m.Stats.MaxReadQLen = c.read.size
 		}
 	}
 	c.stallValid = false // a new candidate can lower the best feasible start
@@ -280,35 +593,12 @@ func (m *Memory) Write(now uint64, ch, bk int, row uint64, bytes int) {
 func (m *Memory) Pending() int {
 	n := 0
 	for _, c := range m.ch {
-		n += c.readQ.Len() + c.writeQ.Len() + c.committed
+		n += c.read.size + c.write.size + c.committed
 	}
 	return n
 }
 
-// CheckInvariants verifies the scheduler's structural invariants, for the
-// watchdog's -check mode: per-channel commit counts must stay within the
-// bank count (at most one reserved bus window per bank), and — when
-// maxQueued > 0 — total request occupancy must stay under maxQueued, which
-// converts unbounded queue growth (a stuck scheduler that enqueues but
-// never commits) into a diagnosable error instead of slow memory
-// exhaustion.
-func (m *Memory) CheckInvariants(maxQueued int) error {
-	pending := 0
-	for i, c := range m.ch {
-		if c.committed < 0 || c.committed > m.cfg.Banks {
-			return fault.Invariantf("dram", "%s: channel %d has %d committed requests (banks=%d)",
-				m.Name, i, c.committed, m.cfg.Banks)
-		}
-		pending += c.readQ.Len() + c.writeQ.Len() + c.committed
-	}
-	if maxQueued > 0 && pending > maxQueued {
-		return fault.Invariantf("dram", "%s: %d requests in flight exceeds the occupancy bound %d",
-			m.Name, pending, maxQueued)
-	}
-	return nil
-}
-
-// scanLimit caps how many queued requests the scheduler inspects per pick;
+// scanLimit caps how many queued requests the scheduler considers per pick;
 // beyond this FR-FCFS degenerates to FCFS, matching real schedulers' bounded
 // associative search.
 const scanLimit = 16
@@ -322,9 +612,9 @@ const scanLimit = 16
 func (m *Memory) kick(now uint64, c *channel) {
 	if c.stallValid {
 		if c.committed > 0 && now >= c.stallNow &&
-			c.stallStart > max64(now, c.busFreeAt)+m.cfg.TRCD+m.cfg.TCAS {
-			// Nothing relevant changed since the last scan stalled on the
-			// horizon, and the horizon still has not caught up: rescanning
+			c.stallStart > max64(now, c.busFreeAt)+m.rcdCas {
+			// Nothing relevant changed since the last pick stalled on the
+			// horizon, and the horizon still has not caught up: re-picking
 			// would reproduce the same stall.
 			return
 		}
@@ -332,62 +622,28 @@ func (m *Memory) kick(now uint64, c *channel) {
 	}
 	for c.committed < m.cfg.Banks {
 		// Update write-drain mode (watermark hysteresis).
-		if c.writeQ.Len() >= m.cfg.WriteQHi {
+		if c.write.size >= m.cfg.WriteQHi {
 			c.draining = true
 		}
-		if c.writeQ.Len() <= m.cfg.WriteQLo {
+		if c.write.size <= m.cfg.WriteQLo {
 			c.draining = false
 		}
 
-		var pool *reqQ
+		var p *pool
 		switch {
-		case c.readQ.Len() > 0 && !c.draining:
-			pool = &c.readQ
-		case c.writeQ.Len() > 0:
-			pool = &c.writeQ
-		case c.readQ.Len() > 0:
-			pool = &c.readQ
+		case c.read.size > 0 && !c.draining:
+			p = &c.read
+		case c.write.size > 0:
+			p = &c.write
+		case c.read.size > 0:
+			p = &c.read
 		default:
 			return
 		}
 
-		// Select the request with the earliest feasible data-burst start;
-		// ties broken row-hit-first, then FIFO order.
-		best := -1
-		var bestStart uint64
-		bestHit := false
-		limit := pool.Len()
-		if limit > scanLimit {
-			limit = scanLimit
-		}
-		busFree := max64(c.busFreeAt, now)
-		for i := 0; i < limit; i++ {
-			r := pool.At(i)
-			if best != -1 {
-				if bestHit && bestStart <= busFree {
-					// No burst can begin before the bus frees and the
-					// row-hit tie-break is already won: the scan is decided.
-					break
-				}
-				b := &c.banks[r.Bank]
-				if !b.hasOpen || b.openRow != r.Row {
-					// A row miss can only displace the best on a strictly
-					// earlier start, and its start is bounded below by the
-					// bus, the bank's in-flight burst, and tRCD+tCAS. When
-					// that bound cannot beat the best, skip the full timing
-					// computation (tRAS/tFAW/refresh alignment).
-					if bestStart <= busFree {
-						continue
-					}
-					if lb := max64(b.busyUntil, now) + m.cfg.TRCD + m.cfg.TCAS; lb >= bestStart {
-						continue
-					}
-				}
-			}
-			start, hit := m.burstStart(now, c, r, busFree)
-			if best == -1 || start < bestStart || (start == bestStart && hit && !bestHit) {
-				best, bestStart, bestHit = i, start, hit
-			}
+		b, idx, start, hit := m.pick(now, c, p)
+		if m.SelfCheck {
+			m.verifyPick(now, c, p, b, idx, start, hit)
 		}
 		// Commit-ahead discipline: while something is already committed,
 		// only reserve bus windows that keep the bus fed. Reserving a
@@ -395,34 +651,148 @@ func (m *Memory) kick(now uint64, c *channel) {
 		// steal reordering freedom from requests that arrive meanwhile;
 		// the completion events re-kick the scheduler instead.
 		if c.committed > 0 {
-			horizon := max64(now, c.busFreeAt) + m.cfg.TRCD + m.cfg.TCAS
-			if bestStart > horizon {
-				c.stallStart, c.stallNow, c.stallValid = bestStart, now, true
+			horizon := max64(now, c.busFreeAt) + m.rcdCas
+			if start > horizon {
+				c.stallStart, c.stallNow, c.stallValid = start, now, true
 				return
 			}
 		}
-		r := pool.RemoveAt(best)
-		m.commit(now, c, r, bestStart, bestHit)
+		m.commit(now, c, p.remove(c, b, idx, !hit), start, hit)
 	}
 }
 
-// burstStart computes the earliest cycle r's data burst could begin.
-// Column accesses to an open row pipeline (consecutive row hits stream at
-// burst rate, each still paying tCAS of latency); row misses must wait for
-// the bank's in-flight burst, tRAS since the last activate, precharge and
-// activation.
+// pick selects the pool's request with the earliest feasible data-burst
+// start; ties broken row-hit-first, then arrival order — the same total
+// order (start, miss-after-hit, seq) the retired bounded scan minimised
+// over the scanLimit oldest requests, restated per bank over the memoized
+// class state:
+//
+//   - Row hits: a hit's start is max(CAS-ready, bus-free) refresh-aligned,
+//     where CAS-ready = max(enqueued, openAt) + tCAS. The earliest-arrival
+//     hit is provably optimal for its bank when its aligned start equals
+//     the bus-free time (no other hit can start before the bus frees, and
+//     equal starts fall to the arrival tie-break) or when it is the bank's
+//     only hit. Otherwise — a refresh pushed it, or CAS-ready times are
+//     not arrival-ordered because enqueue times interleave across issue
+//     paths — an exact scan of the bank's in-window hits decides.
+//   - Row misses: every queued miss of a bank shares one precharge+activate
+//     ready time, so the earliest-arrival miss wins its bank outright
+//     unless refresh alignment pushed that shared start (a later, shorter
+//     burst could then fit an earlier refresh gap), which again falls back
+//     to an exact scan. Misses are also pruned wholesale with the same
+//     lower bound the old scan used: a miss can never start before
+//     max(bank-busy, now) + tRCD + tCAS or before the bus frees, so banks
+//     whose bound cannot beat the current best skip the tRAS/tFAW/refresh
+//     computation entirely.
+//
+// The walk prices at most two candidates per occupied bank — against the
+// retired scan's one start computation per in-window request — and the
+// prunes reduce most banks to a handful of loads and compares.
 //
 //bear:hotpath
-func (m *Memory) burstStart(now uint64, c *channel, r *Request, busFree uint64) (start uint64, rowHit bool) {
-	b := &c.banks[r.Bank]
-	burst := r.burst
-	if b.hasOpen && b.openRow == r.Row {
-		// The CAS could have issued as soon as both the request and the
-		// open row existed; deferred scheduling must not re-charge tCAS
-		// from the scheduling instant.
-		casFrom := max64(r.enqueued, b.openAt)
-		return m.alignRefresh(max64(casFrom+m.cfg.TCAS, busFree), burst), true
+func (m *Memory) pick(now uint64, c *channel, p *pool) (bank int, idx int32, start uint64, rowHit bool) {
+	busFree := max64(c.busFreeAt, now)
+	bank = -1
+	var bestSeq uint64
+	for occ := p.occ; occ != 0; occ &= occ - 1 {
+		b := bits.TrailingZeros64(occ)
+		limit := p.win[b]
+		if limit == 0 {
+			continue
+		}
+		if p.firstHit[b] == classStale {
+			p.ensureClass(c, b)
+		}
+		bk := &c.banks[b]
+		if h := p.firstHit[b]; h >= 0 && h < limit {
+			// Bank-level hit bound: no hit of this bank starts before its
+			// open row is CAS-ready or before the bus frees (alignment only
+			// pushes later). Request enqueue times are not arrival-ordered
+			// within a bank, so the bound must not include them — but the
+			// first hit's seq is minimal among the bank's hits, so it
+			// settles the tie case.
+			hlb := max64(bk.openAt+m.cfg.TCAS, busFree)
+			if bank >= 0 && (hlb > start ||
+				(hlb == start && rowHit && bestSeq < p.bq[b].at(int(h)).seq)) {
+				goto miss
+			}
+			{
+				e := p.bq[b].at(int(h))
+				s := max64(max64(e.enq, bk.openAt)+m.cfg.TCAS, busFree)
+				as := m.alignRefresh(s, e.bur)
+				seq := e.seq
+				if as != busFree && p.nHit[b] > 1 {
+					as, h, seq = m.scanClass(c, p, b, limit, busFree, now, true)
+				}
+				if bank < 0 || as < start || (as == start && (!rowHit || seq < bestSeq)) {
+					bank, idx, start, rowHit, bestSeq = b, h, as, true, seq
+				}
+			}
+		}
+	miss:
+		if mi := p.firstMiss[b]; mi >= 0 && mi < limit {
+			// The shared miss lower bound uses only bank state, so the
+			// common can't-win case skips even the entry load.
+			lb := max64(max64(bk.busyUntil, now)+m.rcdCas, busFree)
+			if bank >= 0 && lb > start {
+				continue
+			}
+			e := p.bq[b].at(int(mi))
+			if bank >= 0 && lb == start && (rowHit || bestSeq < e.seq) {
+				continue
+			}
+			s := max64(m.missReady(c, bk, now), busFree)
+			as := m.alignRefresh(s, e.bur)
+			seq := e.seq
+			if as != s {
+				as, mi, seq = m.scanClass(c, p, b, limit, busFree, now, false)
+			}
+			if bank < 0 || as < start || (as == start && !rowHit && seq < bestSeq) {
+				bank, idx, start, rowHit, bestSeq = b, mi, as, false, seq
+			}
+		}
 	}
+	return bank, idx, start, rowHit
+}
+
+// scanClass exactly minimises (aligned start, arrival) over bank b's
+// in-window requests of one class — the slow path pick falls back to when
+// its O(1) first-of-class shortcut cannot prove optimality.
+//
+//bear:hotpath
+func (m *Memory) scanClass(c *channel, p *pool, b int, limit int32, busFree, now uint64, wantHit bool) (start uint64, idx int32, seq uint64) {
+	q := &p.bq[b]
+	bk := &c.banks[b]
+	var missS uint64
+	if !wantHit {
+		missS = max64(m.missReady(c, bk, now), busFree)
+	}
+	idx = classNone
+	ents := q.ent[q.head : q.head+int(limit)]
+	for i := range ents {
+		e := &ents[i]
+		if (bk.hasOpen && bk.openRow == e.row) != wantHit {
+			continue
+		}
+		s := missS
+		if wantHit {
+			s = max64(max64(e.enq, bk.openAt)+m.cfg.TCAS, busFree)
+		}
+		if as := m.alignRefresh(s, e.bur); idx == classNone || as < start {
+			start, idx, seq = as, int32(i), e.seq
+		}
+	}
+	return start, idx, seq
+}
+
+// missReady returns the earliest cycle a row-miss data burst to the bank
+// could begin, before bus serialisation and refresh alignment: the bank's
+// in-flight burst, tRAS since the last activate, precharge, the
+// four-activate window, then tRCD + tCAS. It is the same for every queued
+// miss of the bank — the property pick's first-of-class shortcut rests on.
+//
+//bear:hotpath
+func (m *Memory) missReady(c *channel, b *bank, now uint64) uint64 {
 	prep := max64(b.busyUntil, now)
 	if b.hasOpen {
 		// Precharge may not begin before tRAS has elapsed since activate.
@@ -433,8 +803,25 @@ func (m *Memory) burstStart(now uint64, c *channel, r *Request, busFree uint64) 
 	if m.cfg.TFAW > 0 {
 		prep = max64(prep, c.acts[c.actPos]+m.cfg.TFAW)
 	}
-	ready := prep + m.cfg.TRCD
-	return m.alignRefresh(max64(ready+m.cfg.TCAS, busFree), burst), false
+	return prep + m.rcdCas
+}
+
+// burstStart computes the earliest cycle r's data burst could begin.
+// Column accesses to an open row pipeline (consecutive row hits stream at
+// burst rate, each still paying tCAS of latency); row misses must wait for
+// the bank's in-flight burst, tRAS since the last activate, precharge and
+// activation. The incremental pick inlines these formulas; this whole-
+// request form serves the reference picker and the invariant checks.
+func (m *Memory) burstStart(now uint64, c *channel, r *Request, busFree uint64) (start uint64, rowHit bool) {
+	b := &c.banks[r.Bank]
+	if b.hasOpen && b.openRow == r.Row {
+		// The CAS could have issued as soon as both the request and the
+		// open row existed; deferred scheduling must not re-charge tCAS
+		// from the scheduling instant.
+		casFrom := max64(r.enqueued, b.openAt)
+		return m.alignRefresh(max64(casFrom+m.cfg.TCAS, busFree), r.burst), true
+	}
+	return m.alignRefresh(max64(m.missReady(c, b, now), busFree), r.burst), false
 }
 
 // alignRefresh pushes a data-burst window out of any all-bank refresh
@@ -443,18 +830,39 @@ func (m *Memory) burstStart(now uint64, c *channel, r *Request, busFree uint64) 
 // The current refresh period [refBase, refEnd) is memoized on the Memory:
 // the scheduler evaluates candidate windows clustered around the present,
 // so almost every call lands in the cached period and skips the 64-bit
-// division that locating it costs.
+// division that locating it costs. The memo is a value-pure cache — extra
+// calls (reference picks, invariant checks) never change any result.
+//
+// The split matters: this wrapper stays under the inlining budget, so the
+// pick loop's dominant already-aligned case (inside the memoized period,
+// past its refresh window, burst fits) costs three compares and no call.
+// Starts below refBase+tRFC fall through even when refBase is 0 and no
+// push is due — alignSlow resolves that (rarely hit) case exactly.
 //
 //bear:hotpath
 func (m *Memory) alignRefresh(start, burst uint64) uint64 {
-	if m.cfg.TREFI == 0 {
+	if start >= m.refSafe && start+burst <= m.refEnd {
 		return start
 	}
+	return m.alignSlow(start, burst)
+}
+
+// alignSlow is alignRefresh's full computation, relocating the memoized
+// period as needed. Kept out of line so the wrapper fits the inlining
+// budget; unreachable when tREFI is 0 (the degenerate memo always passes).
+//
+//go:noinline
+//bear:hotpath
+func (m *Memory) alignSlow(start, burst uint64) uint64 {
 	for {
 		if start < m.refBase || start >= m.refEnd {
 			base := start - start%m.cfg.TREFI
 			m.refBase = base
 			m.refEnd = base + m.cfg.TREFI
+			m.refSafe = base
+			if base > 0 {
+				m.refSafe = base + m.cfg.TRFC
+			}
 		}
 		if m.refBase > 0 {
 			if wEnd := m.refBase + m.cfg.TRFC; start < wEnd {
@@ -470,6 +878,7 @@ func (m *Memory) alignRefresh(start, burst uint64) uint64 {
 	}
 }
 
+//bear:hotpath
 func (m *Memory) commit(now uint64, c *channel, r *Request, start uint64, rowHit bool) {
 	b := &c.banks[r.Bank]
 	burst := r.burst
@@ -481,6 +890,9 @@ func (m *Memory) commit(now uint64, c *channel, r *Request, start uint64, rowHit
 		b.openAt = start - m.cfg.TCAS
 		c.acts[c.actPos] = b.lastAct
 		c.actPos = (c.actPos + 1) % len(c.acts)
+		// The open row changed: queued requests to this bank reclassify.
+		c.read.markStale(r.Bank)
+		c.write.markStale(r.Bank)
 		m.Stats.RowMisses++
 	} else {
 		m.Stats.RowHits++

@@ -155,6 +155,14 @@ func TestWriteDrainWatermarks(t *testing.T) {
 	if reads != 10 || m.Stats.Writes != 30 {
 		t.Fatalf("reads=%d writes=%d", reads, m.Stats.Writes)
 	}
+	// The flood must have grown the write queue to (at least) the high
+	// watermark before draining kicked in, and the peak must be observable.
+	if m.Stats.MaxWriteQLen < cfg.WriteQHi {
+		t.Fatalf("MaxWriteQLen = %d, want >= high watermark %d", m.Stats.MaxWriteQLen, cfg.WriteQHi)
+	}
+	if m.Stats.MaxReadQLen == 0 {
+		t.Fatal("MaxReadQLen = 0 after queued reads")
+	}
 }
 
 func TestQueueDelayAccounting(t *testing.T) {
@@ -241,6 +249,30 @@ func TestServiceBounds(t *testing.T) {
 		return ok && m.Stats.BusBusy >= minBusy
 	}, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkSchedule times the enqueue->pick->commit->complete cycle in
+// isolation (full L4-style timings incl. tFAW and refresh), so scheduler
+// changes can be measured without full-simulation noise. Not part of the
+// BENCH_<n>.json snapshots, which track only the end-to-end BenchmarkSim*.
+func BenchmarkSchedule(b *testing.B) {
+	var q event.Queue
+	cfg := testCfg()
+	cfg.TFAW = 96
+	cfg.TREFI = 24960
+	cfg.TRFC = 1120
+	m := New("b", cfg, &q)
+	noop := func(uint64) {}
+	b.ReportAllocs()
+	row := uint64(0)
+	for i := 0; i < b.N; i++ {
+		row++
+		for j := 0; j < 8; j++ {
+			m.Read(q.Now(), j%2, j%4, row%32, 80, noop)
+			m.Write(q.Now(), (j+1)%2, j%4, row%32, 64)
+		}
+		q.Run(nil)
 	}
 }
 

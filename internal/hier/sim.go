@@ -52,8 +52,10 @@ type Watchdog struct {
 	// CheckEvery is the monitor epoch in executed events (default 1<<16).
 	CheckEvery uint64
 	// Check additionally runs cheap engine invariant checks every epoch
-	// (transaction accounting, DRAM queue occupancy, MSHR accounting) and
-	// a post-run drain + transaction-pool leak check (the -check flag).
+	// (transaction accounting, DRAM queue occupancy and scheduler-memo
+	// cross-checks, MSHR accounting), verifies every DRAM scheduling
+	// decision against the naive reference picker, and performs a post-run
+	// drain + transaction-pool leak check (the -check flag).
 	Check bool
 	// MaxQueued bounds per-memory DRAM request occupancy under Check
 	// (default 1<<16).
@@ -284,6 +286,15 @@ func (s *Sim) drainAndCheck(wd Watchdog) error {
 func (s *Sim) Run() (*stats.Run, error) {
 	s.start()
 	wd := s.Watchdog.withDefaults(s.warm, s.meas)
+	if wd.Check {
+		// Every DRAM scheduling decision re-derives itself through the
+		// naive reference picker (dram/reference.go). Like the epoch
+		// checks, it observes without scheduling: results stay identical.
+		s.Bundle.MemDRAM.SelfCheck = true
+		if s.Bundle.L4DRAM != nil {
+			s.Bundle.L4DRAM.SelfCheck = true
+		}
+	}
 	var steps uint64
 	lastRetired := s.totalRetired()
 	progressAt := s.Q.Now()

@@ -1,0 +1,140 @@
+package hot
+
+// This file mirrors the shapes PR 7 added to the hot path — the DRAM
+// scheduler's incremental per-bank memo maintenance and the SRAM way-hint
+// probe — and pins that simlint keeps them honest: the sanctioned patterns
+// (appends into long-lived per-bank backing arrays, bitmask iteration,
+// hint probes, typed invariant guards) pass clean, while the tempting
+// regressions (scratch slices in a memo rebuild, per-pick logging,
+// capturing completion closures) are flagged, including through
+// unannotated helpers.
+
+import "fmt"
+
+type sched struct {
+	fifos    [][]int  // per-bank FIFOs (long-lived backing arrays)
+	first    []int32  // memoized first-of-class position per bank
+	occ      uint64   // bank occupancy bitmask
+	hint     []uint32 // last-hit slab index, keyed by addr&hintMask
+	hintMask uint64
+	tags     []uint64
+}
+
+// enqueue: appending into a per-bank FIFO owned by the long-lived sched is
+// the sanctioned pattern — the destination is a field element, so its
+// capacity is retained across calls.
+//
+//bear:hotpath
+func (s *sched) enqueue(b, v int) {
+	s.fifos[b] = append(s.fifos[b], v)
+	s.occ |= 1 << uint(b)
+	if s.first[b] < 0 {
+		s.first[b] = int32(len(s.fifos[b]) - 1)
+	}
+}
+
+// trailingBank: an unannotated pure-arithmetic helper; hot callers may use
+// it freely.
+func trailingBank(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// pickBank: min-over-banks via bitmask iteration and memo reads — pure
+// arithmetic over cached state, the whole point of the incremental form.
+//
+//bear:hotpath
+func (s *sched) pickBank() int {
+	best := -1
+	for occ := s.occ; occ != 0; occ &= occ - 1 {
+		b := trailingBank(occ)
+		if best < 0 || s.first[b] < s.first[best] {
+			best = b
+		}
+	}
+	return best
+}
+
+// rebuildWrong: collecting candidates into a scratch slice during a memo
+// rebuild allocates on every invalidation.
+//
+//bear:hotpath
+func (s *sched) rebuildWrong(b int) int {
+	var cand []int32
+	for i := range s.fifos[b] {
+		cand = append(cand, int32(i)) // want "hotpath: append to function-local slice cand"
+	}
+	if len(cand) == 0 {
+		return -1
+	}
+	return int(cand[0])
+}
+
+// checkedRemove: raising a typed invariant fault from memo maintenance is
+// cold by definition and stays sanctioned.
+//
+//bear:hotpath
+func (s *sched) checkedRemove(b, idx int) int {
+	if idx < 0 || idx >= len(s.fifos[b]) {
+		panic(invErrf("bank %d: index %d out of range", b, idx))
+	}
+	v := s.fifos[b][idx]
+	s.fifos[b] = s.fifos[b][:len(s.fifos[b])-1]
+	return v
+}
+
+// find: the way-hint probe — one tag word on a repeat hit, fall through to
+// a store-free subslice sweep otherwise (one bounds check, then a
+// check-free range; hit paths retrain the hint, keeping the probe inside
+// the inlining budget). Pure loads.
+//
+//bear:hotpath
+func (s *sched) find(set uint64, ways int, addr uint64) int {
+	if h := uint64(s.hint[addr&s.hintMask]); s.tags[h] == addr {
+		return int(h)
+	}
+	base := set * uint64(ways)
+	tags := s.tags[base : base+uint64(ways)]
+	for w := range tags {
+		if tags[w] == addr {
+			return int(base) + w
+		}
+	}
+	return -1
+}
+
+// access: a hit retrains the hint — a store into long-lived state, still
+// allocation-free.
+//
+//bear:hotpath
+func (s *sched) access(set uint64, ways int, addr uint64) bool {
+	i := s.find(set, ways, addr)
+	if i < 0 {
+		return false
+	}
+	s.hint[addr&s.hintMask] = uint32(i)
+	return true
+}
+
+// describePick: an unannotated helper that formats; annotated callers get
+// the transitive diagnostic naming the path.
+func describePick(b int) string {
+	return fmt.Sprintf("bank %d", b)
+}
+
+//bear:hotpath
+func (s *sched) pickLogged() {
+	_ = describePick(s.pickBank()) // want "hotpath: //bear:hotpath function pickLogged calls describePick, which allocates"
+}
+
+// onComplete: a per-pick completion closure capturing scheduler state is
+// exactly the per-access garbage the annotation exists to keep out.
+//
+//bear:hotpath
+func (s *sched) onComplete(b int) func() {
+	return func() { s.occ &^= 1 << uint(b) } // want "hotpath: function literal capturing"
+}

@@ -11,11 +11,26 @@
 // that can never match a real line address, so the match loop tests one
 // word per way and touches meta/aux/lru only on the way it selects.
 //
+// On top of the layout, a hint table keyed by the address's low set bits
+// records the slab index that last hit or filled there. Accesses check the
+// hinted tag word before the sweep, so the common repeat-hit case (an L1
+// hit streaming over the same few lines) touches exactly one tag word, and
+// the probe is small enough to inline into every access path. The hint is
+// purely an accelerator: it is verified by tag comparison before use — a
+// line address can only ever match in the one set it maps to, so a hint
+// aliased by another set (non-power-of-two geometries share low-bit keys)
+// or gone stale merely falls through to the full sweep. It can never
+// change which way an operation selects.
+//
 // The same structure also backs the Tags-In-SRAM and Sector-Cache tag
 // stores and the Loh-Hill MissMap in internal/dramcache.
 package sram
 
-import "bear/internal/fault"
+import (
+	"math/bits"
+
+	"bear/internal/fault"
+)
 
 // Line is one cache line's metadata. Addr is the full line address (byte
 // address >> 6) so evictions can be routed without tag reconstruction.
@@ -48,15 +63,18 @@ const (
 // Cache is a set-associative cache keyed by line address. The zero value is
 // not usable; call New.
 type Cache struct {
-	sets    uint64
-	setMask uint64 // sets-1 when sets is a power of two
-	pow2    bool
-	ways    int
-	tags    []uint64 // sets*ways, row-major; tagInvalid when the way is empty
-	meta    []uint8  // valid/dirty bits
-	aux     []uint8  // caller-owned auxiliary byte
-	lru     []uint32 // per-line recency stamps
-	clock   uint32
+	sets     uint64
+	setMask  uint64 // sets-1 when sets is a power of two
+	pow2     bool
+	ways     int
+	waysU    uint64   // ways as uint64: saves a conversion inside find's budget
+	tags     []uint64 // sets*ways, row-major; tagInvalid when the way is empty
+	meta     []uint8  // valid/dirty bits
+	aux      []uint8  // caller-owned auxiliary byte
+	lru      []uint32 // per-line recency stamps
+	hint     []uint32 // slab index of the last hit or fill, keyed by addr&hintMask
+	hintMask uint64   // low set bits: sets-1 rounded down to a power of two, minus aliasing
+	clock    uint32
 }
 
 // New creates a cache with the given geometry. sets must be > 0 and ways in
@@ -71,11 +89,14 @@ func New(sets uint64, ways int) *Cache {
 		setMask: sets - 1,
 		pow2:    sets&(sets-1) == 0,
 		ways:    ways,
+		waysU:   uint64(ways),
 		tags:    make([]uint64, n),
 		meta:    make([]uint8, n),
 		aux:     make([]uint8, n),
 		lru:     make([]uint32, n),
 	}
+	c.hintMask = 1<<(bits.Len64(sets)-1) - 1
+	c.hint = make([]uint32, c.hintMask+1)
 	for i := range c.tags {
 		c.tags[i] = tagInvalid
 	}
@@ -102,18 +123,29 @@ func (c *Cache) SetIndex(addr uint64) uint64 {
 
 func (c *Cache) base(addr uint64) uint64 { return c.SetIndex(addr) * uint64(c.ways) }
 
-// find returns the slab index of addr's way, or (0, false). Only the tags
-// slab is scanned: invalid ways hold tagInvalid, which never equals a line
-// address, so no validity branch is needed in the sweep.
+// find returns the slab index of addr's way, or (0, false). The hint table
+// is probed first: a repeat hit to the hinted slab index touches one tag
+// word, and find is small enough to inline into every access path. find
+// does not train the hint itself (the store would burst the inlining
+// budget); hit paths that learned a new location store it back.
 //
 //bear:hotpath
 func (c *Cache) find(addr uint64) (uint64, bool) {
-	base := c.base(addr)
-	// One bounds check for the subslice; the range sweep is check-free.
-	tags := c.tags[base : base+uint64(c.ways)]
-	for w, t := range tags {
-		if t == addr {
-			return base + uint64(w), true
+	if h := uint64(c.hint[addr&c.hintMask]); c.tags[h] == addr {
+		return h, true
+	}
+	set := addr & c.setMask
+	if !c.pow2 {
+		set = addr % c.sets
+	}
+	// The sweep is store-free — hit paths train the hint themselves —
+	// which keeps find inside the inlining budget. One bounds check for
+	// the subslice; the range sweep is check-free.
+	i := set * c.waysU
+	tags := c.tags[i : i+c.waysU]
+	for w := range tags {
+		if tags[w] == addr {
+			return i + uint64(w), true
 		}
 	}
 	return 0, false
@@ -162,11 +194,14 @@ func (c *Cache) rescale() {
 }
 
 // Lookup checks for addr without changing replacement state. It returns the
-// line's metadata and whether it was present.
+// line's metadata and whether it was present. A hit still retrains the way
+// hint — the hint is not replacement state, and probe-only flows (tag-store
+// presence checks) are exactly where a trained hint pays for itself.
 //
 //bear:hotpath
 func (c *Cache) Lookup(addr uint64) (Line, bool) {
 	if i, ok := c.find(addr); ok {
+		c.hint[addr&c.hintMask] = uint32(i)
 		return c.lineAt(i), true
 	}
 	return Line{}, false
@@ -181,6 +216,7 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	if !ok {
 		return false
 	}
+	c.hint[addr&c.hintMask] = uint32(i)
 	if write {
 		c.meta[i] |= metaDirty
 	}
@@ -197,6 +233,7 @@ func (c *Cache) AccessAux(addr uint64, write bool) (uint8, bool) {
 	if !ok {
 		return 0, false
 	}
+	c.hint[addr&c.hintMask] = uint32(i)
 	if write {
 		c.meta[i] |= metaDirty
 	}
@@ -297,6 +334,9 @@ func (c *Cache) FillIfAbsent(addr uint64, dirty bool, aux uint8) (Eviction, bool
 		panic(fault.Invariantf("sram", "fill of the sentinel line address"))
 	}
 	base := c.base(addr)
+	if c.tags[c.hint[addr&c.hintMask]] == addr {
+		return Eviction{}, false
+	}
 	victim := base
 	var victimStamp uint32 = ^uint32(0)
 	haveInvalid := false
@@ -304,6 +344,7 @@ func (c *Cache) FillIfAbsent(addr uint64, dirty bool, aux uint8) (Eviction, bool
 	lru := c.lru[base : base+uint64(c.ways)]
 	for w, t := range tags {
 		if t == addr {
+			c.hint[addr&c.hintMask] = uint32(base + uint64(w))
 			return Eviction{}, false
 		}
 		if haveInvalid {
@@ -331,6 +372,10 @@ func (c *Cache) FillOrDirty(addr uint64, aux uint8) (Eviction, bool) {
 		panic(fault.Invariantf("sram", "fill of the sentinel line address"))
 	}
 	base := c.base(addr)
+	if h := uint64(c.hint[addr&c.hintMask]); c.tags[h] == addr {
+		c.meta[h] |= metaDirty
+		return Eviction{}, false
+	}
 	victim := base
 	var victimStamp uint32 = ^uint32(0)
 	haveInvalid := false
@@ -338,6 +383,7 @@ func (c *Cache) FillOrDirty(addr uint64, aux uint8) (Eviction, bool) {
 	lru := c.lru[base : base+uint64(c.ways)]
 	for w, t := range tags {
 		if t == addr {
+			c.hint[addr&c.hintMask] = uint32(base + uint64(w))
 			c.meta[base+uint64(w)] |= metaDirty
 			return Eviction{}, false
 		}
@@ -355,12 +401,14 @@ func (c *Cache) FillOrDirty(addr uint64, aux uint8) (Eviction, bool) {
 	return c.install(victim, addr, true, aux), true
 }
 
-// install evicts slab index victim and installs addr there, made MRU.
+// install evicts slab index victim and installs addr there, made MRU and
+// hinted (the filled line is the set's most likely next hit).
 func (c *Cache) install(victim, addr uint64, dirty bool, aux uint8) Eviction {
 	var ev Eviction
 	if c.tags[victim] != tagInvalid {
 		ev = Eviction{Addr: c.tags[victim], Valid: true, Dirty: c.meta[victim]&metaDirty != 0, Aux: c.aux[victim]}
 	}
+	c.hint[addr&c.hintMask] = uint32(victim)
 	c.tags[victim] = addr
 	m := uint8(metaValid)
 	if dirty {
@@ -407,6 +455,7 @@ func (c *Cache) SetDirty(addr uint64) bool {
 	if !ok {
 		return false
 	}
+	c.hint[addr&c.hintMask] = uint32(i)
 	c.meta[i] |= metaDirty
 	return true
 }

@@ -365,3 +365,113 @@ func TestFillLRUStampCollision(t *testing.T) {
 		}
 	}
 }
+
+// TestWayHint pins the way-hint contract: the hint is only an accelerator.
+// A stale hint may cost a full sweep but can never change which way an
+// operation selects or fabricate a hit; Access hits and fills retrain it.
+// (With one set, hint entries — slab indices keyed by the address's low
+// set bits — coincide with way numbers.)
+func TestWayHint(t *testing.T) {
+	c := New(1, 4)
+	c.Fill(10, false, 0)
+	c.Fill(20, false, 0)
+	c.Fill(30, false, 0)
+	if got := c.hint[0]; got != 2 {
+		t.Fatalf("hint after third fill = %d, want 2", got)
+	}
+	if !c.Access(10, false) {
+		t.Fatal("lost line 10")
+	}
+	if got := c.hint[0]; got != 0 {
+		t.Fatalf("hint after re-hit on way 0 = %d, want 0", got)
+	}
+	// Invalidate the hinted line: the stale hint must neither resurrect it
+	// nor misdirect lookups for the set's other lines.
+	c.Invalidate(10)
+	if _, ok := c.Lookup(10); ok {
+		t.Fatal("invalidated line still hits through the hint")
+	}
+	if !c.Access(30, false) {
+		t.Fatal("stale hint broke an unrelated lookup")
+	}
+	// A fill hints the way it installed into.
+	c.Fill(40, false, 0)
+	w, ok := c.WayOf(40)
+	if !ok {
+		t.Fatal("lost line 40")
+	}
+	if got := int(c.hint[0]); got != w {
+		t.Fatalf("hint = %d after install into way %d", got, w)
+	}
+	// FillIfAbsent / FillOrDirty on a present line served via the hint must
+	// not install, and FillOrDirty must still set the dirty bit.
+	if _, filled := c.FillIfAbsent(40, false, 0); filled {
+		t.Fatal("FillIfAbsent re-installed a hinted present line")
+	}
+	if _, filled := c.FillOrDirty(40, 0); filled {
+		t.Fatal("FillOrDirty re-installed a hinted present line")
+	}
+	if ln, _ := c.Lookup(40); !ln.Dirty {
+		t.Fatal("FillOrDirty through the hint lost the dirty bit")
+	}
+	// Lookup hits train the hint too: a probe miss followed by a sweep hit
+	// records the located way for the next probe.
+	if _, ok := c.Lookup(20); !ok {
+		t.Fatal("lost line 20")
+	}
+	if w, _ := c.WayOf(20); int(c.hint[0]) != w {
+		t.Fatalf("hint = %d after Lookup hit on way %d", c.hint[0], w)
+	}
+}
+
+// BenchmarkAccessRepeatHit is the path the way-hint serves: back-to-back
+// hits on one line touch a single tag word instead of sweeping the set.
+func BenchmarkAccessRepeatHit(b *testing.B) {
+	c := New(1024, 8)
+	for i := uint64(0); i < 8*1024; i++ {
+		c.Fill(i, false, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Access(5, false) {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkAccessWaySweep defeats the hint on every access (round-robin
+// over a set's ways), timing the full-sweep fallback for contrast.
+func BenchmarkAccessWaySweep(b *testing.B) {
+	c := New(1024, 8)
+	for i := uint64(0); i < 8*1024; i++ {
+		c.Fill(i, false, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Access(uint64(i%8)*1024+5, false) {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// TestWayHintAliasing pins the masked-hint invariant: hint entries are
+// keyed by the address's low set bits, so non-power-of-two geometries
+// alias — a hint trained by one set is consulted by another. Tag
+// verification must turn every alias into a clean sweep fall-through,
+// never a wrong-way hit or a fabricated one.
+func TestWayHintAliasing(t *testing.T) {
+	c := New(3, 2)      // hintMask = 1: sets 0 and 2 share a hint entry
+	c.Fill(6, false, 0) // set 0
+	c.Fill(2, false, 0) // set 2; retrains the shared entry
+	if !c.Access(6, false) {
+		t.Fatal("aliased hint broke a set-0 access")
+	}
+	if !c.Access(2, false) {
+		t.Fatal("retraining ping-pong lost the set-2 line")
+	}
+	if _, ok := c.Lookup(8); ok { // set 2, never filled
+		t.Fatal("aliased hint fabricated a hit")
+	}
+}

@@ -8,8 +8,14 @@
 # experiments run — NoL4, Alloy, BEAR, BW-Opt, LH, MC, Incl-Alloy, TIS and
 # SC (see simbench_test.go).
 #
-#   scripts/bench.sh              # one sample per benchmark
-#   COUNT=5 scripts/bench.sh      # five samples; the snapshot keeps the best
+# Each benchmark runs COUNT times (default 5) and the snapshot keeps the
+# per-name minimum: on a shared box the minimum estimates the true cost —
+# noise from neighbours only ever adds time — so snapshots taken under
+# different load remain comparable, and bench_compare.sh diffs the same
+# statistic. One sample (COUNT=1) is only for quick smoke readings.
+#
+#   scripts/bench.sh              # five samples; the snapshot keeps the best
+#   COUNT=9 scripts/bench.sh      # more samples for a noisier box
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,7 +28,7 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkSim' -benchtime "${BENCHTIME:-1x}" \
-	-count "${COUNT:-1}" . | tee "$tmp"
+	-count "${COUNT:-5}" . | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | { read -r _ _ v _; echo "$v"; })" '
 /^BenchmarkSim/ {

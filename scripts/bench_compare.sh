@@ -3,6 +3,10 @@
 # repository root, printing per-benchmark ns/instr and allocs/instr deltas.
 # Positive percentages are regressions (the newer snapshot is slower).
 #
+# Snapshots record the per-name minimum over bench.sh's COUNT samples, so
+# this diff compares minima against minima — the noise-robust statistic on
+# a shared box — never a single unlucky run against a lucky one.
+#
 #   make bench-compare
 #   scripts/bench_compare.sh BENCH_1.json BENCH_3.json   # explicit pair
 set -eu
