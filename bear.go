@@ -53,19 +53,26 @@ const (
 	TagsInSRAM
 	// SectorCache is the 4 KB-sector, 6 MB-tag-store design (Section 8).
 	SectorCache
+	// Banshee is the page-grained design with FBR admission and a
+	// tag-buffer writeback flow (cross-paper comparison point).
+	Banshee
+	// TicToc is the page-grained demand-fill design with a tag cache
+	// resolving in-array tag checks (cross-paper comparison point).
+	TicToc
 )
 
 var designToInternal = map[Design]config.Design{
 	NoL4: config.NoL4, Alloy: config.Alloy, BEAR: config.BEAR,
 	BWOpt: config.BWOpt, LohHill: config.LohHill, MostlyClean: config.MostlyClean,
 	InclAlloy: config.InclAlloy, TagsInSRAM: config.TIS, SectorCache: config.Sector,
+	Banshee: config.Banshee, TicToc: config.TicToc,
 }
 
 func (d Design) String() string { return designToInternal[d].String() }
 
 // Designs lists every available design.
 func Designs() []Design {
-	return []Design{NoL4, Alloy, BEAR, BWOpt, LohHill, MostlyClean, InclAlloy, TagsInSRAM, SectorCache}
+	return []Design{NoL4, Alloy, BEAR, BWOpt, LohHill, MostlyClean, InclAlloy, TagsInSRAM, SectorCache, Banshee, TicToc}
 }
 
 // BypassPolicy selects the Miss-Fill policy for Alloy-family designs (BEAR

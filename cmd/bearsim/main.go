@@ -35,12 +35,13 @@ var designByName = map[string]bear.Design{
 	"bwopt": bear.BWOpt, "bw-opt": bear.BWOpt, "lh": bear.LohHill,
 	"lohhill": bear.LohHill, "mc": bear.MostlyClean, "incl-alloy": bear.InclAlloy,
 	"incl": bear.InclAlloy, "tis": bear.TagsInSRAM, "sc": bear.SectorCache,
+	"banshee": bear.Banshee, "tictoc": bear.TicToc,
 }
 
 func main() {
 	var (
 		workload = flag.String("workload", "mcf", "benchmark names (rate mode) or MIXn, comma-separated")
-		design   = flag.String("design", "Alloy", "L4 designs, comma-separated: NoL4|Alloy|BEAR|BWOpt|LH|MC|Incl-Alloy|TIS|SC")
+		design   = flag.String("design", "Alloy", "L4 designs, comma-separated: NoL4|Alloy|BEAR|BWOpt|LH|MC|Incl-Alloy|TIS|SC|Banshee|TicToc")
 		scale    = flag.Int("scale", 64, "capacity divisor vs the paper's 1 GB machine")
 		warm     = flag.Uint64("warm", 1_000_000, "warm-up instructions per core")
 		meas     = flag.Uint64("meas", 2_000_000, "measured instructions per core")

@@ -38,12 +38,24 @@ const (
 	// Sector is a sector/footprint-style cache: 4 KB sectors with per-line
 	// valid/dirty bits and an idealised 6 MB SRAM tag store.
 	Sector
+	// Banshee is the page-grained design of Yu et al. (MICRO 2017):
+	// whole-page (PageBytes) fills admitted by frequency-based replacement,
+	// SRAM/TLB-resident tags with a tag buffer, and a dirty-probe flow for
+	// writebacks that miss the buffer. Cross-paper comparison point for the
+	// granularity axis.
+	Banshee
+	// TicToc is the DRAM-aware tag-check design of Young et al. (2019):
+	// page-grained frames filled line-at-a-time, tags carried in the data
+	// lines (hits need no separate probe) and an SRAM tag cache covering
+	// miss tag checks. Cross-paper comparison point for the granularity
+	// axis.
+	TicToc
 )
 
 var designNames = map[Design]string{
 	NoL4: "NoL4", Alloy: "Alloy", BEAR: "BEAR", BWOpt: "BW-Opt",
 	LohHill: "LH", MostlyClean: "MC", InclAlloy: "Incl-Alloy",
-	TIS: "TIS", Sector: "SC",
+	TIS: "TIS", Sector: "SC", Banshee: "Banshee", TicToc: "TicToc",
 }
 
 func (d Design) String() string { return designNames[d] }
@@ -199,6 +211,13 @@ type System struct {
 
 	// SectorBytes is the sector size for Design == Sector (4 KB in paper).
 	SectorBytes int
+	// PageBytes is the allocation-block (page) size for the page-grained
+	// Banshee and TicToc designs (4 KB, both papers). This is the
+	// granularity knob: Layout.Gran.BlockLines = PageBytes / LineBytes.
+	PageBytes int
+	// TISUseDIP selects DIP instead of LRU insertion for the TIS design
+	// (the lifted dipFill policy composed over sramTags; abl-dip sweeps it).
+	TISUseDIP bool
 	// AssocWays is the associativity of TIS / Sector / Loh-Hill designs.
 	AssocWays int
 
@@ -266,6 +285,7 @@ func Default(scale int) System {
 		DuelSatLimit:      2048,
 		NTCEntriesPerBank: 8,
 		SectorBytes:       4096,
+		PageBytes:         4096,
 		AssocWays:         32,
 		WarmFrac:          0.5,
 		Seed:              1,

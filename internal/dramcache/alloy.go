@@ -99,7 +99,7 @@ func (t *tadTags) locate(set uint64) (Location, int) {
 func (t *tadTags) Lookup(_ uint64, line uint64) Probe {
 	set := line % t.sets
 	loc, _ := t.locate(set)
-	return Probe{Hit: t.isValid(set) && t.tag[set] == line, Loc: loc, Set: set}
+	return Probe{Hit: t.isValid(set) && t.tag[set] == line, Loc: loc, Set: set, Block: line}
 }
 
 // Touch implements TagStore (direct-mapped: no replacement state).
@@ -107,7 +107,7 @@ func (t *tadTags) Touch(uint64) {}
 
 // Fill implements TagStore: evict (back-invalidating under inclusion),
 // install clean.
-func (t *tadTags) Fill(_ uint64, line, _ uint64) FillResult {
+func (t *tadTags) Fill(_ uint64, line, _ uint64, _ bool) FillResult {
 	set := line % t.sets
 	loc, _ := t.locate(set)
 	fr := FillResult{Loc: loc}
@@ -177,7 +177,7 @@ type ntcFilter struct {
 // Consult implements ProbeFilter: the first cache with a known answer wins.
 // A known-absent answer skips the miss probe unless the resident line is
 // dirty (the probe is then still needed to recover the victim's data).
-func (f *ntcFilter) Consult(set, line uint64) (known, present, skipProbe bool) {
+func (f *ntcFilter) Consult(set, _, line uint64) (known, present, skipProbe bool) {
 	_, gb := f.t.locate(set)
 	for _, tc := range [2]*core.NTC{f.ntc, f.ttc} {
 		if tc == nil || known {
@@ -197,7 +197,7 @@ func (f *ntcFilter) Consult(set, line uint64) (known, present, skipProbe bool) {
 // OnProbe implements ProbeFilter: deposit the neighbour tag the burst
 // carried (NTC) and the demand set's own tag (TTC). The last TAD of a row
 // has no neighbour in the burst.
-func (f *ntcFilter) OnProbe(set uint64) {
+func (f *ntcFilter) OnProbe(set, _ uint64) {
 	_, gb := f.t.locate(set)
 	if f.ntc != nil && set%f.t.setsPerRow != f.t.setsPerRow-1 {
 		if n := set + 1; n < f.t.sets {
@@ -211,7 +211,7 @@ func (f *ntcFilter) OnProbe(set uint64) {
 
 // Sync implements ProbeFilter: keep entries coherent with a functional
 // update to the set.
-func (f *ntcFilter) Sync(set uint64) {
+func (f *ntcFilter) Sync(set, _ uint64) {
 	_, gb := f.t.locate(set)
 	if f.ntc != nil {
 		f.ntc.Sync(gb, set, f.t.isValid(set), f.t.tag[set], f.t.isDirty(set))
@@ -225,10 +225,11 @@ func (f *ntcFilter) Sync(set uint64) {
 // FillPolicy.
 type babFill struct{ b *core.BAB }
 
-func (f babFill) RecordAccess(set uint64, miss bool) { f.b.RecordAccess(set, miss) }
-func (f babFill) ShouldBypass(set, _ uint64) bool    { return f.b.ShouldBypass(set) }
-func (f babFill) OnHit(uint64) bool                  { return false }
-func (f babFill) OnFill(uint64, uint64, bool)        {}
+func (f babFill) RecordAccess(set, _ uint64, miss bool) { f.b.RecordAccess(set, miss) }
+func (f babFill) ShouldBypass(set, _, _ uint64) bool    { return f.b.ShouldBypass(set) }
+func (f babFill) OnHit(uint64) bool                     { return false }
+func (f babFill) OnFill(uint64, uint64, uint64, bool)   {}
+func (f babFill) InsertMRU(uint64) bool                 { return true }
 
 // dbpFill is the sampling dead-block-predictor bypass (Section 9.2's
 // prior-work class): fills whose PC signature predicts a dead block are
@@ -253,9 +254,9 @@ func (f *dbpFill) setReused(set uint64, v bool) {
 	}
 }
 
-func (f *dbpFill) RecordAccess(uint64, bool) {}
+func (f *dbpFill) RecordAccess(uint64, uint64, bool) {}
 
-func (f *dbpFill) ShouldBypass(_, pc uint64) bool {
+func (f *dbpFill) ShouldBypass(_, _, pc uint64) bool {
 	return f.d.PredictDead(f.d.Signature(pc))
 }
 
@@ -270,7 +271,7 @@ func (f *dbpFill) OnHit(set uint64) bool {
 
 // OnFill trains the predictor with the victim's outcome and re-tags the set
 // with the installing PC's signature.
-func (f *dbpFill) OnFill(set, pc uint64, hadVictim bool) {
+func (f *dbpFill) OnFill(set, _, pc uint64, hadVictim bool) {
 	if hadVictim {
 		f.d.Train(f.sig[set], f.isReused(set))
 	}
@@ -278,12 +279,14 @@ func (f *dbpFill) OnFill(set, pc uint64, hadVictim bool) {
 	f.setReused(set, false)
 }
 
+func (f *dbpFill) InsertMRU(uint64) bool { return true }
+
 // alloyWB is the Alloy-family WritebackPolicy: inclusion or a set DCP bit
 // guarantees presence (update directly); a clear DCP bit under no-allocate
 // guarantees absence (forward directly); everything else probes.
 type alloyWB struct{ inclusive, allocate bool }
 
-func (w alloyWB) NeedsProbe(hit bool, pres core.Presence) (probe, presKnown bool) {
+func (w alloyWB) NeedsProbe(_ uint64, hit bool, pres core.Presence) (probe, presKnown bool) {
 	if (w.inclusive || pres == core.PresPresent) && hit {
 		return false, pres == core.PresPresent
 	}
@@ -300,6 +303,7 @@ func (w alloyWB) Allocate() bool { return w.allocate }
 // Alloy-family transfer sizes (bytes): every operation on the TAD array
 // moves one 80 B burst (tag + data), except the idealised BW-Opt cache.
 var alloyLayout = Layout{
+	Gran:           GranLine,
 	HitBytes:       80,
 	UpdateBytes:    80,
 	MissProbeBytes: 80,
@@ -311,7 +315,7 @@ var alloyLayout = Layout{
 // bwOptLayout is the Bandwidth-Optimized ideal: hits move exactly 64 B and
 // all secondary operations are logical (zero-byte fills settle victims at
 // issue; writebacks update state for free).
-var bwOptLayout = Layout{HitBytes: 64}
+var bwOptLayout = Layout{Gran: GranLine, HitBytes: 64}
 
 // NewAlloy composes an Alloy-family cache with the given set count over the
 // stacked-DRAM l4 and main memory mem.

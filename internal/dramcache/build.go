@@ -80,11 +80,25 @@ func Build(cfg config.System, q *event.Queue, hooks Hooks) (*Bundle, error) {
 
 	case config.TIS:
 		lines := uint64(cfg.CacheBytes) / config.LineBytes
-		b.Cache = NewTIS("TIS", lines, cfg.AssocWays, b.L4DRAM, b.Mem, hooks)
+		tis := NewTIS("TIS", lines, cfg.AssocWays, b.L4DRAM, b.Mem, hooks)
+		if cfg.TISUseDIP {
+			// DIP composes over the SRAM tag store as a pure FillPolicy.
+			tis.fill = newDIPFill()
+		}
+		b.Cache = tis
 	case config.Sector:
 		lines := uint64(cfg.CacheBytes) / config.LineBytes
 		sectorLines := uint64(cfg.SectorBytes / config.LineBytes)
 		b.Cache = NewSector("SC", lines, sectorLines, cfg.AssocWays, b.L4DRAM, b.Mem, hooks)
+
+	case config.Banshee:
+		lines := uint64(cfg.CacheBytes) / config.LineBytes
+		pageLines := uint64(cfg.PageBytes / config.LineBytes)
+		b.Cache = NewBanshee("Banshee", lines, pageLines, cfg.AssocWays, b.L4DRAM, b.Mem, hooks)
+	case config.TicToc:
+		lines := uint64(cfg.CacheBytes) / config.LineBytes
+		pageLines := uint64(cfg.PageBytes / config.LineBytes)
+		b.Cache = NewTicToc("TicToc", lines, pageLines, cfg.AssocWays, b.L4DRAM, b.Mem, hooks)
 
 	default:
 		return nil, fmt.Errorf("dramcache: unknown design %v", cfg.Design)

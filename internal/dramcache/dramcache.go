@@ -13,6 +13,8 @@
 package dramcache
 
 import (
+	"math/bits"
+
 	"bear/internal/core"
 	"bear/internal/dram"
 	"bear/internal/event"
@@ -80,25 +82,39 @@ type MainMemory struct {
 // victimFwd is a pooled "read the victim's data, then write it to main
 // memory" completion callback. Every design that recovers dirty victims from
 // the DRAM-cache array (Loh-Hill, TIS, Sector, the MissMap's forced
-// evictions) uses one of these instead of a capturing closure, keeping the
-// eviction path allocation-free.
+// evictions, the page-grained designs' partial-page writebacks) uses one of
+// these instead of a capturing closure, keeping the eviction path
+// allocation-free.
 type victimFwd struct {
 	m    *MainMemory
 	line uint64
+	mask uint64     // dirty sub-block bits relative to line; 0 = line itself
 	fn   event.Func // pre-bound f.complete
 	next *victimFwd
 }
 
 func (f *victimFwd) complete(t uint64) {
-	m, line := f.m, f.line
+	m, line, mask := f.m, f.line, f.mask
 	m.putFwd(f)
-	m.WriteLine(t, line)
+	if mask == 0 {
+		m.WriteLine(t, line)
+		return
+	}
+	// Partial-block forward: one write per dirty sub-block, in ascending
+	// line order (deterministic event sequence).
+	for mask != 0 {
+		off := uint64(bits.TrailingZeros64(mask))
+		mask &^= 1 << off
+		m.WriteLine(t, line+off)
+	}
 }
 
-// VictimFwd returns a completion callback that writes line to main memory
-// when the victim's DRAM-cache read finishes. The callback must be invoked
-// exactly once (dram read completions guarantee this); it recycles itself.
-func (m *MainMemory) VictimFwd(line uint64) event.Func {
+// VictimFwd returns a completion callback that writes a victim to main
+// memory when its DRAM-cache recovery read finishes. mask == 0 forwards the
+// single line at line; otherwise bit i of mask forwards line+i (a
+// sub-blocked victim's dirty lines). The callback must be invoked exactly
+// once (dram read completions guarantee this); it recycles itself.
+func (m *MainMemory) VictimFwd(line, mask uint64) event.Func {
 	f := m.fwdFree
 	if f == nil {
 		f = &victimFwd{m: m}
@@ -107,7 +123,7 @@ func (m *MainMemory) VictimFwd(line uint64) event.Func {
 		m.fwdFree = f.next
 		f.next = nil
 	}
-	f.line = line
+	f.line, f.mask = line, mask
 	return f.fn
 }
 
@@ -147,6 +163,16 @@ func (m *MainMemory) ReadLine(now uint64, line uint64, done event.Func) {
 func (m *MainMemory) WriteLine(now uint64, line uint64) {
 	ch, bk, row := m.locate(line)
 	m.D.Write(now, ch, bk, row, 64)
+}
+
+// ReadTail posts the background portion of a multi-line (page) fill: the
+// sub-blocks beyond the demand line, bytes in total, streamed from the
+// demand line's row. It has no completion — the demand line's own ReadLine
+// gates the transaction; the tail only occupies main-memory bandwidth,
+// which is exactly the fill bloat page-grained designs trade for.
+func (m *MainMemory) ReadTail(now uint64, line uint64, bytes int) {
+	ch, bk, row := m.locate(line)
+	m.D.Read(now, ch, bk, row, bytes, nil)
 }
 
 // NoL4 is the "no DRAM cache" memory system: every LLC miss goes to main

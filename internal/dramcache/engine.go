@@ -1,6 +1,8 @@
 package dramcache
 
 import (
+	"math/bits"
+
 	"bear/internal/core"
 	"bear/internal/dram"
 	"bear/internal/event"
@@ -29,13 +31,43 @@ type Location struct {
 	Row    uint64
 }
 
+// Granularity declares a design's allocation unit: how many 64 B lines one
+// tag covers, and whether the tag store keeps per-line (sub-block)
+// valid/dirty state inside each block. Line-grained designs tag every line
+// (GranLine); the page-grained Banshee/TicToc family tags 4 KB frames
+// (GranPage) and tracks residency and dirtiness per sub-block. The engine
+// reads the unit off FillResult (FillLines, VictimDirtyMask) rather than
+// off Gran — the two must agree, and simlint's gran rule enforces that
+// every Layout composition declares its unit.
+type Granularity struct {
+	BlockLines uint64 // 64 B lines per allocation block (1 = line-grained)
+	SubBlocked bool   // per-line valid/dirty bits are kept within a block
+}
+
+// GranLine is the 64 B line unit every BEAR-paper design uses.
+var GranLine = Granularity{BlockLines: 1}
+
+// GranPage is the 4 KB page unit of the Banshee/TicToc family, with
+// sub-block (per-line) valid/dirty tracking within each frame.
+var GranPage = Granularity{BlockLines: 64, SubBlocked: true}
+
 // Layout declares the bus-transfer sizes of one design, in bytes. A zero
 // field disables the corresponding transfer: TagBytes == 0 means hits are a
 // single read, MissProbeBytes == 0 means misses never probe (the tags are
 // off the DRAM bus), FillBytes == 0 means fills are free (the idealised
 // BW-Opt cache; the victim is then resolved at issue), WBProbeBytes == 0
 // means the WritebackPolicy never asks for a probe.
+//
+// FillBytes and VictimReadBytes are per sub-block: a multi-line fill
+// (FillResult.FillLines > 1) moves FillLines of them and a partial-page
+// writeback recovers one VictimReadBytes read per dirty sub-block
+// (FillResult.VictimDirtyMask), so page-grained designs account page fills
+// and partial-page writebacks without a second engine.
 type Layout struct {
+	// Gran is the design's allocation unit. Every composition must set it
+	// (simlint: gran); line-grained designs use GranLine.
+	Gran Granularity
+
 	// Hit path.
 	HitBytes     int  // the read that services a hit (the only useful bytes)
 	TagBytes     int  // separate tag read chained before the data read (Loh-Hill)
@@ -61,8 +93,12 @@ type Probe struct {
 	Hit bool     // the line is resident
 	Loc Location // where the line's set/frame lives in the DRAM array
 	Set uint64   // set index, handed to policies and filters
+	// Block is the allocation-unit address the line belongs to (equal to
+	// the line address for line-grained stores, the page address for
+	// page-grained ones); policies and filters key their state by it.
+	Block uint64
 	// FreeFill reports that a writeback miss may be installed in place
-	// without a probe or a victim (the sector cache's resident-sector,
+	// without a probe or a victim (the resident-sector/resident-page,
 	// absent-line case).
 	FreeFill bool
 }
@@ -70,9 +106,18 @@ type Probe struct {
 // FillResult describes an installation performed by a TagStore.
 type FillResult struct {
 	Loc         Location // where the line was installed
-	VictimLine  uint64
+	VictimLine  uint64   // first line of the displaced block
 	VictimValid bool
 	VictimDirty bool
+	// FillLines scales the fill: the installation moves FillLines
+	// sub-blocks of Layout.FillBytes each (a whole-page fill). Zero or one
+	// means a single unit — the line-grained behaviour.
+	FillLines int
+	// VictimDirtyMask holds the victim's dirty sub-block bits (bit i =
+	// line VictimLine+i): the recovery read and the memory forward cover
+	// exactly the dirty lines. Zero with VictimDirty set means the whole
+	// unit is dirty — the line-grained behaviour.
+	VictimDirtyMask uint64
 }
 
 // TagStore owns a design's tag/presence state. All methods are functional:
@@ -85,7 +130,9 @@ type FillResult struct {
 type TagStore interface {
 	Lookup(now uint64, line uint64) Probe
 	Touch(line uint64)
-	Fill(now uint64, line, pc uint64) FillResult
+	// Fill installs line; mru=false demands LRU-position insertion (the
+	// engine asks the FillPolicy — DIP/BIP-class policies answer per set).
+	Fill(now uint64, line, pc uint64, mru bool) FillResult
 	WritebackHit(line uint64)
 	WritebackFill(now uint64, line uint64) FillResult
 	Contains(line uint64) bool
@@ -100,28 +147,37 @@ type HitPredictor interface {
 	Predict(coreID int, pc uint64, actualHit bool) bool
 }
 
-// FillPolicy decides whether misses fill and what secondary replacement
-// state costs. A nil policy always fills and never pays update traffic.
+// FillPolicy decides whether misses fill, where fills insert and what
+// secondary replacement state costs. A nil policy always fills at MRU and
+// never pays update traffic. block is the allocation-unit address
+// (Probe.Block): page-grained policies key frequency/monitor state by it.
 type FillPolicy interface {
-	// RecordAccess observes every L4 access (set-dueling monitors).
-	RecordAccess(set uint64, miss bool)
+	// RecordAccess observes every L4 access (set-dueling monitors,
+	// frequency counters).
+	RecordAccess(set, block uint64, miss bool)
 	// ShouldBypass is consulted once per miss, before any fill.
-	ShouldBypass(set, pc uint64) bool
+	ShouldBypass(set, block, pc uint64) bool
 	// OnHit is consulted once per hit; returning true charges
 	// Layout.UpdateBytes of replacement-update traffic (in-DRAM status
 	// bits that must be written back).
 	OnHit(set uint64) (updateState bool)
 	// OnFill observes a completed functional fill (predictor training).
-	OnFill(set, pc uint64, hadVictim bool)
+	OnFill(set, block, pc uint64, hadVictim bool)
+	// InsertMRU chooses the insertion position of the fill that is about
+	// to happen in set: false demands LRU insertion (DIP's bimodal throw-
+	// away inserts). Policies without an insertion opinion return true.
+	InsertMRU(set uint64) bool
 }
 
 // WritebackPolicy resolves a dirty LLC eviction whose presence answer is
-// hit (tag store) and pres (a DCP bit, when the hierarchy keeps one).
-// probe=false settles the writeback at issue; presKnown additionally
-// credits the DCP for saving a probe. Allocate is consulted on a probed
-// writeback miss: install the line instead of forwarding it to memory.
+// hit (tag store) and pres (a DCP bit, when the hierarchy keeps one); line
+// lets policies backed by their own structures (Banshee's tag buffer,
+// TicToc's tag cache) answer per address. probe=false settles the
+// writeback at issue; presKnown additionally credits the DCP for saving a
+// probe. Allocate is consulted on a probed writeback miss: install the
+// line instead of forwarding it to memory.
 type WritebackPolicy interface {
-	NeedsProbe(hit bool, pres core.Presence) (probe, presKnown bool)
+	NeedsProbe(line uint64, hit bool, pres core.Presence) (probe, presKnown bool)
 	Allocate() bool
 }
 
@@ -131,9 +187,9 @@ type WritebackPolicy interface {
 // (deposits); Sync keeps filter entries coherent with a functional update
 // to the set.
 type ProbeFilter interface {
-	Consult(set, line uint64) (known, present, skipProbe bool)
-	OnProbe(set uint64)
-	Sync(set uint64)
+	Consult(set, block, line uint64) (known, present, skipProbe bool)
+	OnProbe(set, block uint64)
+	Sync(set, block uint64)
 }
 
 // Controller drives any composed design through the shared transaction
@@ -175,7 +231,9 @@ type txn struct {
 	victimLine  uint64
 	victimValid bool
 	victimDirty bool
-	pendingBoth int // parallel path: completions still outstanding
+	victimMask  uint64 // dirty sub-block bits of the victim (0: whole unit)
+	fillLines   int    // sub-blocks the fill moves (0 or 1: one unit)
+	pendingBoth int    // parallel path: completions still outstanding
 
 	fnHit, fnHitTag, fnMissMem, fnBothProbe event.Func
 	fnBothMem, fnSerialProbe, fnSerialMem   event.Func
@@ -203,6 +261,7 @@ func (c *Controller) getTxn() *txn {
 	c.live++
 	x.update, x.filled, x.inL4, x.hit = false, false, false, false
 	x.victimValid, x.victimDirty = false, false
+	x.victimMask, x.fillLines = 0, 0
 	x.pendingBoth = 0
 	return x
 }
@@ -254,7 +313,10 @@ func (x *txn) onHit(t uint64) {
 }
 
 // fillAt charges the Miss Fill write (and the dirty victim's recovery) when
-// the data arrives from main memory.
+// the data arrives from main memory. Both transfers scale to the
+// granularity the tag store reported: a page fill moves fillLines units of
+// FillBytes, and a sub-blocked victim recovers one VictimReadBytes read per
+// dirty line (victimMask) instead of the whole block.
 //
 //bear:hotpath
 func (x *txn) fillAt(t uint64) {
@@ -263,13 +325,21 @@ func (x *txn) fillAt(t uint64) {
 	}
 	c := x.c
 	c.st.Fills++
-	c.st.AddBytes(stats.MissFill, c.lay.FillBytes)
-	c.l4Write(t, x.loc, c.lay.FillBytes)
+	fillBytes := c.lay.FillBytes
+	if x.fillLines > 1 {
+		fillBytes *= x.fillLines
+	}
+	c.st.AddBytes(stats.MissFill, fillBytes)
+	c.l4Write(t, x.loc, fillBytes)
 	if x.victimValid && x.victimDirty {
 		if c.lay.VictimReadBytes > 0 {
 			// The victim's data must be read back before it is lost.
-			c.st.AddBytes(stats.VictimRead, c.lay.VictimReadBytes)
-			c.l4Read(t, x.loc, c.lay.VictimReadBytes, c.mem.VictimFwd(x.victimLine))
+			vb := c.lay.VictimReadBytes
+			if x.victimMask != 0 {
+				vb *= bits.OnesCount64(x.victimMask)
+			}
+			c.st.AddBytes(stats.VictimRead, vb)
+			c.l4Read(t, x.loc, vb, c.mem.VictimFwd(x.victimLine, x.victimMask))
 		} else {
 			c.mem.WriteLine(t, x.victimLine)
 		}
@@ -403,7 +473,7 @@ func (c *Controller) Read(now uint64, coreID int, line, pc uint64, done func(uin
 
 	p := c.tags.Lookup(now, line)
 	if c.fill != nil {
-		c.fill.RecordAccess(p.Set, !p.Hit)
+		c.fill.RecordAccess(p.Set, p.Block, !p.Hit)
 	}
 
 	// Filter consultation: a known answer either guarantees a hit (so a
@@ -411,7 +481,7 @@ func (c *Controller) Read(now uint64, coreID int, line, pc uint64, done func(uin
 	// miss (so the probe can be skipped when the resident line is clean).
 	var known, present, skipProbe bool
 	if c.filter != nil {
-		known, present, skipProbe = c.filter.Consult(p.Set, line)
+		known, present, skipProbe = c.filter.Consult(p.Set, p.Block, line)
 	}
 
 	predHit := true
@@ -425,7 +495,7 @@ func (c *Controller) Read(now uint64, coreID int, line, pc uint64, done func(uin
 		// The probe is the useful data transfer.
 		c.tags.Touch(line)
 		if c.filter != nil {
-			c.filter.OnProbe(p.Set)
+			c.filter.OnProbe(p.Set, p.Block)
 		}
 		x := c.getTxn()
 		x.now, x.loc, x.done = now, p.Loc, done
@@ -456,22 +526,30 @@ func (c *Controller) Read(now uint64, coreID int, line, pc uint64, done func(uin
 	}
 
 	// Fill / bypass decision (functional state updates immediately).
-	bypass := c.fill != nil && c.fill.ShouldBypass(p.Set, pc)
+	bypass := c.fill != nil && c.fill.ShouldBypass(p.Set, p.Block, pc)
 	x := c.getTxn()
 	x.now, x.line, x.loc, x.done = now, line, p.Loc, done
 	if !bypass {
-		fr := c.tags.Fill(now, line, pc)
+		mru := c.fill == nil || c.fill.InsertMRU(p.Set)
+		fr := c.tags.Fill(now, line, pc, mru)
 		if c.fill != nil {
-			c.fill.OnFill(p.Set, pc, fr.VictimValid)
+			c.fill.OnFill(p.Set, p.Block, pc, fr.VictimValid)
 		}
 		if c.filter != nil {
-			c.filter.Sync(p.Set)
+			c.filter.Sync(p.Set, p.Block)
 		}
 		x.loc = fr.Loc
 		x.inL4 = true
 		if c.lay.FillBytes > 0 {
 			x.filled = true
+			x.fillLines = fr.FillLines
 			x.victimLine, x.victimValid, x.victimDirty = fr.VictimLine, fr.VictimValid, fr.VictimDirty
+			x.victimMask = fr.VictimDirtyMask
+			if fr.FillLines > 1 {
+				// A multi-line (page) fill streams its tail from main
+				// memory too; the demand line's own read gates the txn.
+				c.mem.ReadTail(start, line, (fr.FillLines-1)*64)
+			}
 		} else {
 			// Free fills (BW-Opt) settle the victim at issue.
 			if fr.VictimValid && fr.VictimDirty {
@@ -484,7 +562,7 @@ func (c *Controller) Read(now uint64, coreID int, line, pc uint64, done func(uin
 	}
 
 	if c.filter != nil && !skipProbe {
-		c.filter.OnProbe(p.Set)
+		c.filter.OnProbe(p.Set, p.Block)
 	}
 
 	switch {
@@ -511,7 +589,7 @@ func (c *Controller) Writeback(now uint64, coreID int, line uint64, pres core.Pr
 
 	p := c.tags.Lookup(now, line)
 	start := now + c.lay.ExtraLatency
-	probe, presKnown := c.wb.NeedsProbe(p.Hit, pres)
+	probe, presKnown := c.wb.NeedsProbe(line, p.Hit, pres)
 	if !probe {
 		switch {
 		case p.Hit:
@@ -521,14 +599,14 @@ func (c *Controller) Writeback(now uint64, coreID int, line uint64, pres core.Pr
 			c.st.WBHits++
 			c.tags.WritebackHit(line)
 			if c.filter != nil {
-				c.filter.Sync(p.Set)
+				c.filter.Sync(p.Set, p.Block)
 			}
 			if c.lay.WBUpdateBytes > 0 {
 				c.st.AddBytes(stats.WBUpdate, c.lay.WBUpdateBytes)
 				c.l4Write(start, p.Loc, c.lay.WBUpdateBytes)
 			}
 		case p.FreeFill:
-			// Resident sector, absent line: install in place, no victim.
+			// Resident sector/page, absent line: install in place, no victim.
 			fr := c.tags.WritebackFill(now, line)
 			c.st.WBHits++
 			c.st.AddBytes(stats.WBFill, c.lay.WBUpdateBytes)
@@ -546,7 +624,7 @@ func (c *Controller) Writeback(now uint64, coreID int, line uint64, pres core.Pr
 	// Unknown presence (or a violated guarantee, handled conservatively):
 	// probe, resolving the update, fill or memory forward on completion.
 	if c.filter != nil {
-		c.filter.OnProbe(p.Set)
+		c.filter.OnProbe(p.Set, p.Block)
 	}
 	x := c.getTxn()
 	x.now, x.line, x.loc = now, line, p.Loc
@@ -554,9 +632,9 @@ func (c *Controller) Writeback(now uint64, coreID int, line uint64, pres core.Pr
 	if p.Hit {
 		c.tags.WritebackHit(line)
 		if c.filter != nil {
-			c.filter.Sync(p.Set)
+			c.filter.Sync(p.Set, p.Block)
 		}
-	} else if c.wb.Allocate() {
+	} else if p.FreeFill || c.wb.Allocate() {
 		// Writeback Fill: install the dirty line now (functional), pay
 		// for it when the probe completes.
 		fr := c.tags.WritebackFill(now, line)
@@ -564,7 +642,7 @@ func (c *Controller) Writeback(now uint64, coreID int, line uint64, pres core.Pr
 		x.filled = true
 		x.victimLine, x.victimValid, x.victimDirty = fr.VictimLine, fr.VictimValid, fr.VictimDirty
 		if c.filter != nil {
-			c.filter.Sync(p.Set)
+			c.filter.Sync(p.Set, p.Block)
 		}
 	}
 	c.l4Read(start, x.loc, c.lay.WBProbeBytes, x.fnWBProbe)
@@ -595,14 +673,16 @@ func (p mapiPred) Predict(coreID int, pc uint64, actualHit bool) bool {
 // BW-Opt cache), so no probe is ever needed.
 type directWB struct{}
 
-func (directWB) NeedsProbe(bool, core.Presence) (probe, presKnown bool) { return false, false }
-func (directWB) Allocate() bool                                         { return false }
+func (directWB) NeedsProbe(uint64, bool, core.Presence) (probe, presKnown bool) {
+	return false, false
+}
+func (directWB) Allocate() bool { return false }
 
 // probeWB probes whenever no DCP bit answers presence (the Mostly-Clean
 // tags-in-DRAM cache, whose tags can only be read from the DRAM array).
 type probeWB struct{}
 
-func (probeWB) NeedsProbe(_ bool, pres core.Presence) (probe, presKnown bool) {
+func (probeWB) NeedsProbe(_ uint64, _ bool, pres core.Presence) (probe, presKnown bool) {
 	return pres == core.PresUnknown, false
 }
 func (probeWB) Allocate() bool { return false }
@@ -611,4 +691,4 @@ func (probeWB) Allocate() bool { return false }
 // install every miss) while monitors and update-state policies still run.
 type noBypass struct{ FillPolicy }
 
-func (noBypass) ShouldBypass(uint64, uint64) bool { return false }
+func (noBypass) ShouldBypass(uint64, uint64, uint64) bool { return false }

@@ -42,6 +42,12 @@ func TestControllerAllocFree(t *testing.T) {
 			return NewLohHill("lh", 16, 29, f.l4, f.mem, Hooks{},
 				LHOpts{MissMapLatency: 24})
 		}},
+		{"banshee", func(f *fixture) Cache {
+			return NewBanshee("banshee", 256, 8, 2, f.l4, f.mem, Hooks{})
+		}},
+		{"tictoc", func(f *fixture) Cache {
+			return NewTicToc("tictoc", 256, 8, 2, f.l4, f.mem, Hooks{})
+		}},
 	}
 	for _, b := range builders {
 		t.Run(b.name, func(t *testing.T) {
@@ -92,7 +98,7 @@ func TestUpdFillSampling(t *testing.T) {
 	}
 
 	// Sampled set: first reuse pays the update, later reuses do not.
-	f.OnFill(0, 0x40, false)
+	f.OnFill(0, 0, 0x40, false)
 	if !f.OnHit(0) {
 		t.Error("first hit in a sampled set must write the status bit")
 	}
@@ -101,7 +107,7 @@ func TestUpdFillSampling(t *testing.T) {
 	}
 
 	// Non-sampled set: reuse is tracked but never written back.
-	f.OnFill(1, 0x48, false)
+	f.OnFill(1, 0, 0x48, false)
 	if f.OnHit(1) {
 		t.Error("non-sampled set must never pay the status update")
 	}
@@ -109,11 +115,11 @@ func TestUpdFillSampling(t *testing.T) {
 	// Eviction from a sampled set trains; from a non-sampled set it must
 	// not (its reuse bit was never architecturally written back).
 	before := d.Trainings
-	f.OnFill(0, 0x50, true)
+	f.OnFill(0, 0, 0x50, true)
 	if d.Trainings != before+1 {
 		t.Error("sampled-set eviction did not train the predictor")
 	}
-	f.OnFill(1, 0x58, true)
+	f.OnFill(1, 0, 0x58, true)
 	if d.Trainings != before+1 {
 		t.Error("non-sampled-set eviction trained the predictor")
 	}
@@ -124,7 +130,7 @@ func TestUpdFillSampling(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		d.Train(sig, false)
 	}
-	if !f.ShouldBypass(7, 0x99) {
+	if !f.ShouldBypass(7, 0, 0x99) {
 		t.Error("learned dead signature should bypass in any set")
 	}
 }

@@ -1,7 +1,6 @@
 package dramcache
 
 import (
-	"bear/internal/core"
 	"bear/internal/dram"
 	"bear/internal/fault"
 	"bear/internal/sram"
@@ -32,13 +31,14 @@ type LohHill = Controller
 
 // lhTags is the tags-in-DRAM store: functional tags+LRU in an sram.Cache
 // (physically they live in the row's tag lines, charged via Layout), plus
-// the optional MissMap presence tracker and DIP insertion policy.
+// the optional MissMap presence tracker. Insertion position (LRU vs MRU)
+// is the engine's to decide — DIP is a FillPolicy now, not a tag-store
+// mechanic — so the store just obeys the mru argument.
 type lhTags struct {
 	c *Controller
 
 	tags     *sram.Cache // functional tags+LRU (physically in DRAM)
 	mm       *MissMap    // presence tracker (nil for Mostly-Clean)
-	dip      *core.DIP   // insertion policy (nil = pure LRU)
 	channels uint64
 	banks    uint64
 
@@ -70,20 +70,20 @@ func (t *lhTags) present(line uint64) bool {
 func (t *lhTags) Lookup(now uint64, line uint64) Probe {
 	t.lastNow = now
 	set := t.tags.SetIndex(line)
-	return Probe{Hit: t.present(line), Loc: t.locate(set), Set: set}
+	return Probe{Hit: t.present(line), Loc: t.locate(set), Set: set, Block: line}
 }
 
 // Touch implements TagStore (LRU promotion on a demand hit).
 func (t *lhTags) Touch(line uint64) { t.tags.Access(line, false) }
 
 // fill installs a line in the tag array and the MissMap, routing evictions.
-// Under DIP the insertion position follows the duel's current winner.
-func (t *lhTags) fill(line uint64) sram.Eviction {
+// mru=false inserts at the LRU position (DIP's bimodal throw-away inserts).
+func (t *lhTags) fill(line uint64, mru bool) sram.Eviction {
 	var ev sram.Eviction
-	if t.dip != nil && !t.dip.InsertAtMRU(t.tags.SetIndex(line)) {
-		ev = t.tags.FillLRU(line, false, 0)
-	} else {
+	if mru {
 		ev = t.tags.Fill(line, false, 0)
+	} else {
+		ev = t.tags.FillLRU(line, false, 0)
 	}
 	if ev.Valid {
 		if t.mm != nil {
@@ -100,9 +100,9 @@ func (t *lhTags) fill(line uint64) sram.Eviction {
 }
 
 // Fill implements TagStore.
-func (t *lhTags) Fill(_ uint64, line, _ uint64) FillResult {
+func (t *lhTags) Fill(_ uint64, line, _ uint64, mru bool) FillResult {
 	set := t.tags.SetIndex(line)
-	ev := t.fill(line)
+	ev := t.fill(line, mru)
 	return FillResult{
 		Loc:         t.locate(set),
 		VictimLine:  ev.Addr,
@@ -129,7 +129,7 @@ func (t *lhTags) Contains(line uint64) bool {
 // Install implements TagStore: a free functional fill used for pre-warming.
 func (t *lhTags) Install(line uint64) {
 	if _, ok := t.tags.Lookup(line); !ok {
-		t.fill(line)
+		t.fill(line, true)
 	}
 }
 
@@ -148,22 +148,9 @@ func (t *lhTags) missMapEvict(line uint64) {
 	if ln.Dirty {
 		set := t.tags.SetIndex(line)
 		t.c.st.AddBytes(stats.VictimRead, lhDataBytes)
-		t.c.l4Read(t.lastNow, t.locate(set), lhDataBytes, t.c.mem.VictimFwd(line))
+		t.c.l4Read(t.lastNow, t.locate(set), lhDataBytes, t.c.mem.VictimFwd(line, 0))
 	}
 }
-
-// dipFill exposes DIP's miss monitor as a FillPolicy (the insertion
-// position itself is a tag-store mechanic, applied inside lhTags.fill).
-type dipFill struct{ d *core.DIP }
-
-func (f dipFill) RecordAccess(set uint64, miss bool) {
-	if miss {
-		f.d.RecordMiss(set)
-	}
-}
-func (f dipFill) ShouldBypass(uint64, uint64) bool { return false }
-func (f dipFill) OnHit(uint64) bool                { return false }
-func (f dipFill) OnFill(uint64, uint64, bool)      {}
 
 // Loh-Hill transfer sizes (bytes).
 const (
@@ -176,6 +163,7 @@ const (
 // then unconditionally re-write LRU state (footnote 3's replacement-update
 // bloat); misses fill without probing (presence was already answered).
 var lhLayout = Layout{
+	Gran:            GranLine,
 	HitBytes:        lhDataBytes,
 	TagBytes:        lhTagBytes,
 	UpdateBytes:     lhDataBytes,
@@ -201,8 +189,7 @@ func NewLohHill(name string, sets uint64, ways int, l4 *dram.Memory, mem *MainMe
 	}
 	c.tags = t
 	if opts.UseDIP {
-		t.dip = core.NewDIP(1024)
-		c.fill = dipFill{t.dip}
+		c.fill = newDIPFill()
 	}
 	if opts.MissMapLatency > 0 {
 		// The BEAR paper idealises the MissMap ("same latency as the LLC",

@@ -17,30 +17,36 @@ import (
 type Sector = Controller
 
 // sectorTags is the sector-granular tag store: an sram.Cache keyed by
-// sector address, per-line valid/dirty bits per frame, and a map from
-// resident sector to its data frame.
+// sector address (an sram.Mapper splits lines into sector/offset
+// coordinates), with per-line valid/dirty bits per frame. The frame index
+// is derived from the tag's (set, way) position — the same slab geometry
+// the SoA cache already maintains — so no side map is needed.
 type sectorTags struct {
 	c *Controller
 
-	tags       *sram.Cache // keyed by sector address
-	ways       uint64
-	linesPer   uint64 // lines per sector (64 for 4 KB sectors)
-	validBits  []uint64
-	dirtyBits  []uint64
-	frameOfSec map[uint64]uint64 // resident sector -> frame index
+	tags      *sram.Cache // keyed by sector address
+	ways      uint64
+	amap      sram.Mapper // line -> (sector, offset)
+	validBits []uint64
+	dirtyBits []uint64
 
 	channels uint64
 	banks    uint64
 	lpr      uint64
 }
 
-func (t *sectorTags) sectorOf(line uint64) (sector, offset uint64) {
-	return line / t.linesPer, line % t.linesPer
+// frameOf returns the data frame of a resident sector.
+func (t *sectorTags) frameOf(sector uint64) (uint64, bool) {
+	way, ok := t.tags.WayOf(sector)
+	if !ok {
+		return 0, false
+	}
+	return t.tags.SetIndex(sector)*t.ways + uint64(way), true
 }
 
 // locateLine maps a (frame, offset) to DRAM coordinates.
 func (t *sectorTags) locateLine(frame, offset uint64) Location {
-	unit := (frame*t.linesPer + offset) / t.lpr
+	unit := (frame*t.amap.BlockLines() + offset) / t.lpr
 	ch := int(unit % t.channels)
 	rest := unit / t.channels
 	bk := int(rest % t.banks)
@@ -51,23 +57,23 @@ func (t *sectorTags) locateLine(frame, offset uint64) Location {
 // reported as a miss with FreeFill set: both reads (fetch just the line)
 // and writebacks (install in place) fill into the sector without a victim.
 func (t *sectorTags) Lookup(_ uint64, line uint64) Probe {
-	sector, off := t.sectorOf(line)
-	if _, ok := t.tags.Lookup(sector); !ok {
-		return Probe{Set: t.tags.SetIndex(sector)}
+	sector, off := t.amap.Split(line)
+	frame, ok := t.frameOf(sector)
+	if !ok {
+		return Probe{Set: t.tags.SetIndex(sector), Block: sector}
 	}
-	frame := t.frameOfSec[sector]
 	return Probe{
 		Hit:      t.validBits[frame]&(1<<off) != 0,
 		Loc:      t.locateLine(frame, off),
 		Set:      t.tags.SetIndex(sector),
+		Block:    sector,
 		FreeFill: true,
 	}
 }
 
 // Touch implements TagStore (sector-granular LRU promotion).
 func (t *sectorTags) Touch(line uint64) {
-	sector, _ := t.sectorOf(line)
-	t.tags.Access(sector, false)
+	t.tags.Access(t.amap.Block(line), false)
 }
 
 // allocSector installs a sector, evicting a victim sector if needed, and
@@ -79,38 +85,37 @@ func (t *sectorTags) allocSector(now uint64, sector uint64) uint64 {
 	frame := set*t.ways + uint64(way)
 	ev := t.tags.Fill(sector, false, 0)
 	if ev.Valid {
-		delete(t.frameOfSec, ev.Addr)
 		valid, dirty := t.validBits[frame], t.dirtyBits[frame]
-		for off := uint64(0); off < t.linesPer; off++ {
+		for off := uint64(0); off < t.amap.BlockLines(); off++ {
 			bit := uint64(1) << off
 			if valid&bit == 0 {
 				continue
 			}
-			victimLine := ev.Addr*t.linesPer + off
+			victimLine := t.amap.Line(ev.Addr, off)
 			if t.c.hooks.OnEvict != nil {
 				t.c.hooks.OnEvict(victimLine)
 			}
 			if dirty&bit != 0 {
 				// Recover the dirty line before the frame is reused.
 				t.c.st.AddBytes(stats.VictimRead, 64)
-				t.c.l4Read(now, t.locateLine(frame, off), 64, t.c.mem.VictimFwd(victimLine))
+				t.c.l4Read(now, t.locateLine(frame, off), 64, t.c.mem.VictimFwd(victimLine, 0))
 			}
 		}
 	}
 	t.validBits[frame] = 0
 	t.dirtyBits[frame] = 0
-	t.frameOfSec[sector] = frame
 	return frame
 }
 
 // Fill implements TagStore: a resident sector takes the line in place
 // (promoting the sector); a sector miss allocates, paying any dirty-victim
-// recovery at issue — so no victim is ever reported to the engine.
-func (t *sectorTags) Fill(now uint64, line, _ uint64) FillResult {
-	sector, off := t.sectorOf(line)
-	var frame uint64
-	if _, ok := t.tags.Lookup(sector); ok {
-		frame = t.frameOfSec[sector]
+// recovery at issue — so no victim is ever reported to the engine. Sector
+// fills always insert at MRU (no insertion-policy composition), so mru is
+// ignored.
+func (t *sectorTags) Fill(now uint64, line, _ uint64, _ bool) FillResult {
+	sector, off := t.amap.Split(line)
+	frame, ok := t.frameOf(sector)
+	if ok {
 		t.tags.Access(sector, false)
 	} else {
 		frame = t.allocSector(now, sector)
@@ -121,15 +126,20 @@ func (t *sectorTags) Fill(now uint64, line, _ uint64) FillResult {
 
 // WritebackHit implements TagStore.
 func (t *sectorTags) WritebackHit(line uint64) {
-	sector, off := t.sectorOf(line)
-	t.dirtyBits[t.frameOfSec[sector]] |= 1 << off
+	sector, off := t.amap.Split(line)
+	if frame, ok := t.frameOf(sector); ok {
+		t.dirtyBits[frame] |= 1 << off
+	}
 }
 
 // WritebackFill implements TagStore: only called on the FreeFill path
 // (sector resident, line absent) — set the line's valid and dirty bits.
 func (t *sectorTags) WritebackFill(_ uint64, line uint64) FillResult {
-	sector, off := t.sectorOf(line)
-	frame := t.frameOfSec[sector]
+	sector, off := t.amap.Split(line)
+	frame, ok := t.frameOf(sector)
+	if !ok {
+		panic(fault.Invariantf("dramcache", "sector WritebackFill without resident sector"))
+	}
 	bit := uint64(1) << off
 	t.validBits[frame] |= bit
 	t.dirtyBits[frame] |= bit
@@ -138,38 +148,35 @@ func (t *sectorTags) WritebackFill(_ uint64, line uint64) FillResult {
 
 // Contains implements TagStore.
 func (t *sectorTags) Contains(line uint64) bool {
-	sector, off := t.sectorOf(line)
-	if _, ok := t.tags.Lookup(sector); !ok {
+	sector, off := t.amap.Split(line)
+	frame, ok := t.frameOf(sector)
+	if !ok {
 		return false
 	}
-	return t.validBits[t.frameOfSec[sector]]&(1<<off) != 0
+	return t.validBits[frame]&(1<<off) != 0
 }
 
 // Install implements TagStore.
 func (t *sectorTags) Install(line uint64) {
-	sector, off := t.sectorOf(line)
-	var frame uint64
-	if _, ok := t.tags.Lookup(sector); ok {
-		frame = t.frameOfSec[sector]
-	} else {
+	sector, off := t.amap.Split(line)
+	frame, ok := t.frameOf(sector)
+	if !ok {
 		set := t.tags.SetIndex(sector)
 		way := t.tags.VictimWay(sector)
 		frame = set*t.ways + uint64(way)
-		ev := t.tags.Fill(sector, false, 0)
-		if ev.Valid {
-			delete(t.frameOfSec, ev.Addr)
-		}
+		t.tags.Fill(sector, false, 0)
 		t.validBits[frame] = 0
 		t.dirtyBits[frame] = 0
-		t.frameOfSec[sector] = frame
 	}
 	t.validBits[frame] |= 1 << off
 }
 
 // sectorLayout: probes are free (tags on chip), data operations move 64 B
 // lines; victims are settled at issue inside the tag store, never by the
-// engine.
+// engine. The granularity's BlockLines is corrected to the constructed
+// sector size in NewSector.
 var sectorLayout = Layout{
+	Gran:          GranPage,
 	HitBytes:      64,
 	FillBytes:     64,
 	WBUpdateBytes: 64,
@@ -190,17 +197,17 @@ func NewSector(name string, lines uint64, sectorLines uint64, ways int, l4 *dram
 	}
 	frames := sets * uint64(ways)
 	c := &Controller{name: name, lay: sectorLayout, l4: l4, mem: mem, hooks: hooks, wb: directWB{}}
+	c.lay.Gran = Granularity{BlockLines: sectorLines, SubBlocked: true}
 	c.tags = &sectorTags{
-		c:          c,
-		tags:       sram.New(sets, ways),
-		ways:       uint64(ways),
-		linesPer:   sectorLines,
-		validBits:  make([]uint64, frames),
-		dirtyBits:  make([]uint64, frames),
-		frameOfSec: make(map[uint64]uint64),
-		channels:   uint64(cfg.Channels),
-		banks:      uint64(cfg.Banks),
-		lpr:        uint64(cfg.RowBytes / 64),
+		c:         c,
+		tags:      sram.New(sets, ways),
+		ways:      uint64(ways),
+		amap:      sram.NewMapper(sectorLines),
+		validBits: make([]uint64, frames),
+		dirtyBits: make([]uint64, frames),
+		channels:  uint64(cfg.Channels),
+		banks:     uint64(cfg.Banks),
+		lpr:       uint64(cfg.RowBytes / 64),
 	}
 	return c
 }

@@ -40,20 +40,26 @@ func (t *sramTags) locateFrame(set uint64, way int) Location {
 func (t *sramTags) Lookup(_ uint64, line uint64) Probe {
 	set := t.tags.SetIndex(line)
 	if way, ok := t.tags.WayOf(line); ok {
-		return Probe{Hit: true, Loc: t.locateFrame(set, way), Set: set}
+		return Probe{Hit: true, Loc: t.locateFrame(set, way), Set: set, Block: line}
 	}
-	return Probe{Set: set}
+	return Probe{Set: set, Block: line}
 }
 
 // Touch implements TagStore (LRU promotion on a demand hit).
 func (t *sramTags) Touch(line uint64) { t.tags.Access(line, false) }
 
 // Fill implements TagStore: tags answer instantly (idealised SRAM), the
-// displaced victim's frame is reused for the new line.
-func (t *sramTags) Fill(_ uint64, line, _ uint64) FillResult {
+// displaced victim's frame is reused for the new line. mru=false places the
+// line at the LRU position (DIP's bimodal inserts, composed in build.go).
+func (t *sramTags) Fill(_ uint64, line, _ uint64, mru bool) FillResult {
 	set := t.tags.SetIndex(line)
 	way := t.tags.VictimWay(line)
-	ev := t.tags.Fill(line, false, 0)
+	var ev sram.Eviction
+	if mru {
+		ev = t.tags.Fill(line, false, 0)
+	} else {
+		ev = t.tags.FillLRU(line, false, 0)
+	}
 	if ev.Valid && t.c.hooks.OnEvict != nil {
 		t.c.hooks.OnEvict(ev.Addr)
 	}
@@ -91,6 +97,7 @@ func (t *sramTags) Install(line uint64) {
 // 64 B line, and dirty victims must be read back before their frame is
 // reused.
 var tisLayout = Layout{
+	Gran:            GranLine,
 	HitBytes:        64,
 	FillBytes:       64,
 	VictimReadBytes: 64,

@@ -43,10 +43,10 @@ func (f *updFill) setReused(set uint64, v bool) {
 	}
 }
 
-func (f *updFill) RecordAccess(uint64, bool) {}
+func (f *updFill) RecordAccess(uint64, uint64, bool) {}
 
 // ShouldBypass applies the learned dead-block decision to every set.
-func (f *updFill) ShouldBypass(_, pc uint64) bool {
+func (f *updFill) ShouldBypass(_, _, pc uint64) bool {
 	return f.d.PredictDead(f.d.Signature(pc))
 }
 
@@ -63,10 +63,12 @@ func (f *updFill) OnHit(set uint64) bool {
 // OnFill trains the predictor from sampled sets only (non-sampled reuse
 // bits are architecturally stale — they were never written back — so
 // training on them would be cheating).
-func (f *updFill) OnFill(set, pc uint64, hadVictim bool) {
+func (f *updFill) OnFill(set, _, pc uint64, hadVictim bool) {
 	if hadVictim && f.sampled(set) {
 		f.d.Train(f.sig[set], f.isReused(set))
 	}
 	f.sig[set] = f.d.Signature(pc)
 	f.setReused(set, false)
 }
+
+func (f *updFill) InsertMRU(uint64) bool { return true }

@@ -313,29 +313,33 @@ func init() {
 	register(Experiment{
 		ID:       "abl-dip",
 		Artifact: "Ablation",
-		Title:    "Loh-Hill insertion policy: LRU vs DIP (paper footnote 3)",
-		About:    "DIP protects thrashing sets in the 29-way design; both pay the replacement-update write",
+		Title:    "Insertion policy: LRU vs DIP over Loh-Hill and TIS (paper footnote 3)",
+		About:    "DIP is a standalone FillPolicy since the granularity refactor, so the same dipFill composes over both the in-DRAM (LH) and in-SRAM (TIS) tag stores; speedups are vs each design's own LRU base",
 		Run: func(p Params, w io.Writer, r *Runner) error {
-			dip := specLH
-			dip.lhDIP = true
-			r.PrefetchRate([]spec{specLH, dip}, ablationWorkloads)
-			t := newTable("Policy", "Speedup-vs-LH", "HitRate", "Bloat")
-			for _, useDIP := range []bool{false, true} {
-				s := specLH
-				s.lhDIP = useDIP
-				g, err := ablSpeedups(r, s, specLH)
+			lhDIP := specLH
+			lhDIP.lhDIP = true
+			tisDIP := specTIS
+			tisDIP.tisDIP = true
+			r.PrefetchRate([]spec{specLH, lhDIP, specTIS, tisDIP}, ablationWorkloads)
+			t := newTable("Policy", "Speedup-vs-LRU", "HitRate", "Bloat")
+			for _, d := range []struct {
+				name    string
+				s, base spec
+			}{
+				{"LH-LRU", specLH, specLH},
+				{"LH-DIP", lhDIP, specLH},
+				{"TIS-LRU", specTIS, specTIS},
+				{"TIS-DIP", tisDIP, specTIS},
+			} {
+				g, err := ablSpeedups(r, d.s, d.base)
 				if err != nil {
 					return err
 				}
-				a, err := ablAgg(r, s)
+				a, err := ablAgg(r, d.s)
 				if err != nil {
 					return err
 				}
-				name := "LRU"
-				if useDIP {
-					name = "DIP"
-				}
-				t.row(name, f3(g), pct(a.l4.HitRate()), f2(a.l4.BloatFactor()))
+				t.row(d.name, f3(g), pct(a.l4.HitRate()), f2(a.l4.BloatFactor()))
 			}
 			t.write(w)
 			return nil

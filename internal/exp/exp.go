@@ -123,6 +123,7 @@ type spec struct {
 	wbAllocate bool
 	ttc        bool
 	lhDIP      bool
+	tisDIP     bool
 }
 
 // baseSpec returns the paper-default system for a design (BEAR expands to
@@ -159,6 +160,7 @@ func (s spec) build(p Params) config.System {
 	sys.WBAllocate = s.wbAllocate
 	sys.UseTTC = s.ttc
 	sys.LHUseDIP = s.lhDIP
+	sys.TISUseDIP = s.tisDIP
 	sys.Seed = p.Seed
 	return sys
 }

@@ -21,6 +21,10 @@ var (
 	specIncl  = baseSpec(config.InclAlloy)
 	specTIS   = baseSpec(config.TIS)
 	specSC    = baseSpec(config.Sector)
+
+	// Page-grained cross-paper designs (see crosspaper.go).
+	specBanshee = baseSpec(config.Banshee)
+	specTicToc  = baseSpec(config.TicToc)
 )
 
 func specPB(p float64) spec {

@@ -14,8 +14,9 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden outputs under 
 // goldenIDs are the experiments pinned byte-for-byte. They cover every L4
 // design flow the refactors touch: fig12 (Alloy/BEAR/BW-Opt speedups over
 // rate + mix workloads), fig13 (the six-way bloat breakdown for five
-// schemes), and tab4 (hit-rate and latency aggregates).
-var goldenIDs = []string{"fig12", "fig13", "tab4"}
+// schemes), tab4 (hit-rate and latency aggregates), and xgran (the
+// page-grained Banshee/TicToc designs on the granularity axis).
+var goldenIDs = []string{"fig12", "fig13", "tab4", "xgran"}
 
 // TestGoldenOutputs diffs experiment output byte-for-byte against the
 // committed goldens. Any change to simulation behaviour — even a reordering

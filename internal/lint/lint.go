@@ -48,6 +48,7 @@ const (
 	RulePool        = "pool"        // pooled object dropped on a return path
 	RuleDupID       = "dupid"       // duplicate or non-literal experiment id
 	RuleLayout      = "layout"      // Controller composition without a Layout
+	RuleGran        = "gran"        // Layout literal without a declared Granularity
 	RuleInvariant   = "invariant"   // bare string panic in an engine package
 )
 

@@ -98,3 +98,11 @@ func BenchmarkSimTIS(b *testing.B) { benchSim(b, config.TIS) }
 
 // BenchmarkSimSC measures the sectored cache design.
 func BenchmarkSimSC(b *testing.B) { benchSim(b, config.Sector) }
+
+// BenchmarkSimBanshee measures the page-grained Banshee design (pageTags
+// with whole-page fills, FBR admission, tag-buffer writeback resolution).
+func BenchmarkSimBanshee(b *testing.B) { benchSim(b, config.Banshee) }
+
+// BenchmarkSimTicToc measures the page-grained TicToc design (demand-line
+// fills into page frames, tag-cache-resolved tag checks).
+func BenchmarkSimTicToc(b *testing.B) { benchSim(b, config.TicToc) }
