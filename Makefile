@@ -23,10 +23,13 @@ vet:
 
 # lint runs simlint, the repository's own static analyzer: determinism
 # (wall clock / math/rand / os.Getenv / map-order folds / stray goroutines),
-# //bear:hotpath alloc-freedom, pool discipline and engine contracts. See
-# ARCHITECTURE.md "Enforced invariants" for the rule catalogue.
+# //bear:hotpath alloc-freedom, pool discipline, engine contracts, byte
+# attribution, event-time monotonicity and the stats census. See
+# ARCHITECTURE.md "Enforced invariants" for the rule catalogue. -cache keys
+# the result on a hash of every non-test .go file (.simlint.cache), so a
+# clean re-run replays without re-type-checking the module.
 lint:
-	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -cache ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

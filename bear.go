@@ -199,6 +199,7 @@ type Result struct {
 	CoreIPC      []float64
 
 	L3MPKI       float64
+	L3MissRate   float64 // fraction of L3 accesses that missed
 	L3Misses     uint64
 	L3Writebacks uint64
 
@@ -219,6 +220,8 @@ type Result struct {
 	DCPProbesSaved uint64
 	NTCProbesSaved uint64
 	NTCParallelSq  uint64
+	// MAP-I accuracy: correct / incorrect hit-miss predictions.
+	PredHits, PredMisses uint64
 
 	// Main-memory bus traffic (bytes).
 	MemReadBytes, MemWriteBytes uint64
@@ -234,6 +237,7 @@ func resultFrom(r *stats.Run) *Result {
 		IPC:          r.IPC(),
 		CoreIPC:      r.CoreIPC,
 		L3MPKI:       r.MPKI(),
+		L3MissRate:   r.L3MissRate(),
 		L3Misses:     r.L3Misses,
 		L3Writebacks: r.L3Writebacks,
 
@@ -258,6 +262,8 @@ func resultFrom(r *stats.Run) *Result {
 		DCPProbesSaved: l4.DCPProbesSaved,
 		NTCProbesSaved: l4.NTCProbesSaved,
 		NTCParallelSq:  l4.NTCParallelSqsh,
+		PredHits:       l4.PredHits,
+		PredMisses:     l4.PredMisses,
 		MemReadBytes:   r.MemReadBytes,
 		MemWriteBytes:  r.MemWriteBytes,
 	}

@@ -251,7 +251,7 @@ func print(r *bear.Result) {
 	fmt.Printf("cycles         %d\n", r.Cycles)
 	fmt.Printf("instructions   %d\n", r.Instructions)
 	fmt.Printf("IPC            %.3f\n", r.IPC)
-	fmt.Printf("L3 MPKI        %.2f\n", r.L3MPKI)
+	fmt.Printf("L3 MPKI        %.2f (miss rate %.1f%%)\n", r.L3MPKI, 100*r.L3MissRate)
 	fmt.Printf("L3 writebacks  %d\n", r.L3Writebacks)
 	fmt.Printf("L4 hit rate    %.1f%%\n", 100*r.L4HitRate)
 	fmt.Printf("L4 hit lat     %.0f cycles\n", r.L4HitLatency)
@@ -264,6 +264,11 @@ func print(r *bear.Result) {
 	if r.Bypasses+r.DCPProbesSaved+r.NTCProbesSaved > 0 {
 		fmt.Printf("BEAR           bypasses=%d dcpSaved=%d ntcSaved=%d ntcSquash=%d\n",
 			r.Bypasses, r.DCPProbesSaved, r.NTCProbesSaved, r.NTCParallelSq)
+	}
+	if r.PredHits+r.PredMisses > 0 {
+		fmt.Printf("MAP-I          accuracy=%.1f%% (%d/%d)\n",
+			100*float64(r.PredHits)/float64(r.PredHits+r.PredMisses),
+			r.PredHits, r.PredHits+r.PredMisses)
 	}
 	fmt.Printf("mem traffic    read=%.1f MB write=%.1f MB\n",
 		float64(r.MemReadBytes)/(1<<20), float64(r.MemWriteBytes)/(1<<20))

@@ -1,24 +1,40 @@
 // Command simlint is the repository's static analyzer: it enforces the
-// determinism, hot-path alloc-freedom, pool-discipline and engine-contract
-// invariants described in ARCHITECTURE.md ("Enforced invariants"), using
-// only the Go standard library.
+// determinism, hot-path alloc-freedom, pool-discipline, engine-contract,
+// byte-attribution, event-time and stats-census invariants described in
+// ARCHITECTURE.md ("Enforced invariants"), using only the Go standard
+// library.
 //
 // Usage:
 //
-//	simlint [./...]
+//	simlint [flags] [./...]
 //	simlint ./internal/dram ./internal/event
 //
 // With "./..." (the default) every package under the module is analyzed.
 // Diagnostics print as file:line:col: rule: message; the exit status is 1
 // when any diagnostic is reported. Suppress a finding with a trailing
 // `//bear:nolint <rule> — reason` comment.
+//
+// Flags:
+//
+//	-json           print diagnostics as JSON objects, one per line
+//	-cache          key the whole run on a hash of every non-test .go file;
+//	                replay the stored diagnostics when nothing changed
+//	-nolint-report  list every //bear:nolint suppression with its reason
+//	                (parse-only; no analysis runs)
 package main
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"bear/internal/lint"
@@ -31,18 +47,44 @@ func main() {
 	}
 }
 
+// finding is the JSON shape of one diagnostic (and the cache entry format).
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func run(args []string) error {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "print diagnostics as JSON, one object per line")
+	useCache := fs.Bool("cache", false, "reuse the previous run's result when no .go file changed")
+	nolintReport := fs.Bool("nolint-report", false, "list every //bear:nolint suppression with its reason")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
+
 	root, module, err := findModule()
 	if err != nil {
 		return err
 	}
 
+	if *nolintReport {
+		return reportNolints(os.Stdout, root)
+	}
+
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
+	full := false
 	var dirs []string
 	for _, arg := range args {
 		if strings.HasSuffix(arg, "...") {
+			if arg == "./..." || arg == "..." {
+				full = true
+			}
 			base := filepath.Join(root, strings.TrimSuffix(strings.TrimSuffix(arg, "..."), "/"))
 			sub, err := lint.FindPackageDirs(base)
 			if err != nil {
@@ -54,53 +96,256 @@ func run(args []string) error {
 		dirs = append(dirs, filepath.Join(root, arg))
 	}
 
+	var cacheKey string
+	if *useCache {
+		cacheKey, err = treeHash(root, module, args)
+		if err != nil {
+			return err
+		}
+		if found, ok := readCache(root, cacheKey); ok {
+			emit(found, *jsonOut)
+			if len(found) > 0 {
+				fmt.Fprintf(os.Stderr, "simlint: %d diagnostic(s) (cached)\n", len(found))
+				os.Exit(1)
+			}
+			return nil
+		}
+	}
+
 	prog, err := lint.Load(module, root, dirs)
 	if err != nil {
 		return err
 	}
-	diags := prog.Run(repoConfig(module))
+	diags := prog.Run(repoConfig(module, full))
+	var found []finding
 	for _, d := range diags {
 		rel, err := filepath.Rel(root, d.Pos.Filename)
-		if err == nil {
-			d.Pos.Filename = rel
+		if err != nil {
+			rel = d.Pos.Filename
 		}
-		fmt.Println(d)
+		found = append(found, finding{
+			File: rel, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d diagnostic(s)\n", len(diags))
+	if *useCache {
+		writeCache(root, cacheKey, found)
+	}
+	emit(found, *jsonOut)
+	if len(found) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d diagnostic(s)\n", len(found))
 		os.Exit(1)
 	}
 	return nil
 }
 
+func emit(found []finding, jsonOut bool) {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		for _, f := range found {
+			enc.Encode(f)
+		}
+		return
+	}
+	for _, f := range found {
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Rule, f.Message)
+	}
+}
+
 // repoConfig scopes the rule families for this repository:
 //
-//   - determinism rules cover every internal/ simulation package; the lint
-//     package itself is infrastructure, and cmd/examples are drivers that
-//     legitimately read wall-clock time for progress reporting;
+//   - determinism rules cover every internal/ simulation package, including
+//     internal/lint itself (the analyzer must be as deterministic as the
+//     models it audits); cmd/examples are drivers that legitimately read
+//     wall-clock time for progress reporting;
 //   - goroutines are allowed only in internal/exp (the worker-pool layer);
 //   - the map-iteration rule applies everywhere, because map-ordered output
 //     from a driver is as nondeterministic as from a model;
 //   - the typed-invariant rule (no bare string panics) covers the engine
 //     packages whose panics cross the fault-isolation recover in
-//     internal/exp and must arrive classifiable.
-func repoConfig(module string) lint.Config {
+//     internal/exp and must arrive classifiable;
+//   - the bytes rule guards the DRAM-cache engine, the only package that
+//     enqueues DRAM-cache bus transfers;
+//   - the timeflow rule covers every package that schedules events;
+//   - the stats census needs the whole program to see both producers and
+//     consumers, so it runs only on full ./... invocations.
+func repoConfig(module string, full bool) lint.Config {
 	internal := module + "/internal/"
 	engine := map[string]bool{
 		internal + "dram": true, internal + "sram": true,
 		internal + "cpu": true, internal + "hier": true,
 		internal + "dramcache": true,
 	}
+	timed := map[string]bool{
+		internal + "event": true, internal + "dram": true,
+		internal + "cpu": true, internal + "hier": true,
+		internal + "dramcache": true,
+	}
 	return lint.Config{
 		Determinism: func(path string) bool {
-			return strings.HasPrefix(path, internal) && path != internal+"lint"
+			return strings.HasPrefix(path, internal)
 		},
 		AllowGo: func(path string) bool {
 			return path == internal+"exp"
 		},
 		MapRange:       func(path string) bool { return true },
 		InvariantPanic: func(path string) bool { return engine[path] },
+		Bytes:          func(path string) bool { return path == internal+"dramcache" },
+		Timeflow:       func(path string) bool { return timed[path] },
+		StatsFields: func(path string) bool {
+			return full && path == internal+"stats"
+		},
 	}
+}
+
+// --- Result cache. ---
+
+// cacheFile sits at the module root; .gitignore excludes it.
+const cacheFile = ".simlint.cache"
+
+type cacheEntry struct {
+	Key      string    `json:"key"`
+	Findings []finding `json:"findings"`
+}
+
+// treeHash fingerprints everything a run's outcome depends on: the module
+// path, the argument list, and the content of every non-test .go file plus
+// go.mod. Rule changes invalidate the cache automatically because the rules
+// live in internal/lint's own .go files.
+func treeHash(root, module string, args []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "module %s\nargs %q\n", module, args)
+	var files []string
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			name := fi.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return "", err
+		}
+		fh := sha256.New()
+		_, err = io.Copy(fh, f)
+		f.Close()
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s %x\n", filepath.ToSlash(rel), fh.Sum(nil))
+	}
+	if b, err := os.ReadFile(filepath.Join(root, "go.mod")); err == nil {
+		h.Write(b)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+func readCache(root, key string) ([]finding, bool) {
+	b, err := os.ReadFile(filepath.Join(root, cacheFile))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(b, &e) != nil || e.Key != key {
+		return nil, false
+	}
+	return e.Findings, true
+}
+
+func writeCache(root, key string, found []finding) {
+	b, err := json.Marshal(cacheEntry{Key: key, Findings: found})
+	if err != nil {
+		return
+	}
+	os.WriteFile(filepath.Join(root, cacheFile), b, 0o644)
+}
+
+// --- Suppression report. ---
+
+// reportNolints lists every //bear:nolint comment in the tree with its rules
+// and reason: the audit trail for what the analyzer has been told to ignore.
+// Files are parsed, not grepped, so string literals and prose mentions of the
+// marker do not count.
+func reportNolints(w io.Writer, root string) error {
+	type supp struct {
+		file string
+		line int
+		body string
+	}
+	var supps []supp
+	fset := token.NewFileSet()
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			name := fi.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if f == nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "//bear:nolint")
+				if !ok || (body != "" && body[0] != ' ' && body[0] != '\t') {
+					continue
+				}
+				supps = append(supps, supp{
+					file: filepath.ToSlash(rel),
+					line: fset.Position(c.Pos()).Line,
+					body: strings.TrimSpace(body),
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(supps, func(i, j int) bool {
+		if supps[i].file != supps[j].file {
+			return supps[i].file < supps[j].file
+		}
+		return supps[i].line < supps[j].line
+	})
+	for _, s := range supps {
+		fmt.Fprintf(w, "%s:%d: %s\n", s.file, s.line, s.body)
+	}
+	fmt.Fprintf(w, "%d suppression(s)\n", len(supps))
+	return nil
 }
 
 // findModule locates go.mod upward from the working directory and returns

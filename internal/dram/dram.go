@@ -690,6 +690,7 @@ func (m *Memory) kick(now uint64, c *channel) {
 // prunes reduce most banks to a handful of loads and compares.
 //
 //bear:hotpath
+//bear:clock result=2
 func (m *Memory) pick(now uint64, c *channel, p *pool) (bank int, idx int32, start uint64, rowHit bool) {
 	busFree := max64(c.busFreeAt, now)
 	bank = -1
@@ -879,6 +880,7 @@ func (m *Memory) alignSlow(start, burst uint64) uint64 {
 }
 
 //bear:hotpath
+//bear:clock start
 func (m *Memory) commit(now uint64, c *channel, r *Request, start uint64, rowHit bool) {
 	b := &c.banks[r.Bank]
 	burst := r.burst

@@ -277,10 +277,21 @@ func (c *Controller) putTxn(x *txn) {
 // has drained (the pool-leak invariant checked by integration tests).
 func (c *Controller) OutstandingTxns() int { return c.live }
 
+// l4Read enqueues a DRAM-cache bus read. Every call site must attribute the
+// same byte expression to a bloat category, or carry //bear:deferred when the
+// attribution happens in the completion callback fn.
+//
+//bear:enqueue read bytes=2
+//bear:clock at
 func (c *Controller) l4Read(at uint64, loc Location, bytes int, fn event.Func) {
 	c.l4.Read(at, loc.Ch, loc.Bk, loc.Row, bytes, fn)
 }
 
+// l4Write enqueues a DRAM-cache bus write; same attribution contract as
+// l4Read, but writes attribute at enqueue on the same path.
+//
+//bear:enqueue write bytes=2
+//bear:clock at
 func (c *Controller) l4Write(at uint64, loc Location, bytes int) {
 	c.l4.Write(at, loc.Ch, loc.Bk, loc.Row, bytes)
 }
@@ -292,7 +303,7 @@ func (c *Controller) l4Write(at uint64, loc Location, bytes int) {
 func (x *txn) onHitTag(t uint64) {
 	c := x.c
 	c.st.AddBytes(stats.HitProbe, c.lay.TagBytes)
-	c.l4Read(t, x.loc, c.lay.HitBytes, x.fnHit)
+	c.l4Read(t, x.loc, c.lay.HitBytes, x.fnHit) //bear:deferred HitProbe
 }
 
 // onHit completes a hit's probe: the probe is the useful data transfer.
@@ -487,6 +498,11 @@ func (c *Controller) Read(now uint64, coreID int, line, pc uint64, done func(uin
 	predHit := true
 	if c.pred != nil {
 		predHit = c.pred.Predict(coreID, pc, p.Hit)
+		if predHit == p.Hit {
+			c.st.PredHits++
+		} else {
+			c.st.PredMisses++
+		}
 	}
 
 	start := now + c.lay.ExtraLatency
@@ -501,9 +517,9 @@ func (c *Controller) Read(now uint64, coreID int, line, pc uint64, done func(uin
 		x.now, x.loc, x.done = now, p.Loc, done
 		x.update = c.lay.UpdateAlways || (c.fill != nil && c.fill.OnHit(p.Set))
 		if c.lay.TagBytes > 0 {
-			c.l4Read(start, p.Loc, c.lay.TagBytes, x.fnHitTag)
+			c.l4Read(start, p.Loc, c.lay.TagBytes, x.fnHitTag) //bear:deferred HitProbe
 		} else {
-			c.l4Read(start, p.Loc, c.lay.HitBytes, x.fnHit)
+			c.l4Read(start, p.Loc, c.lay.HitBytes, x.fnHit) //bear:deferred HitProbe
 		}
 		if !predHit {
 			if known && present {
@@ -570,10 +586,10 @@ func (c *Controller) Read(now uint64, coreID int, line, pc uint64, done func(uin
 		c.mem.ReadLine(start, line, x.fnMissMem)
 	case parallel:
 		x.pendingBoth = 2
-		c.l4Read(start, x.loc, c.lay.MissProbeBytes, x.fnBothProbe)
+		c.l4Read(start, x.loc, c.lay.MissProbeBytes, x.fnBothProbe) //bear:deferred MissProbe
 		c.mem.ReadLine(start, line, x.fnBothMem)
 	default:
-		c.l4Read(start, x.loc, c.lay.MissProbeBytes, x.fnSerialProbe)
+		c.l4Read(start, x.loc, c.lay.MissProbeBytes, x.fnSerialProbe) //bear:deferred MissProbe
 	}
 }
 
@@ -645,7 +661,7 @@ func (c *Controller) Writeback(now uint64, coreID int, line uint64, pres core.Pr
 			c.filter.Sync(p.Set, p.Block)
 		}
 	}
-	c.l4Read(start, x.loc, c.lay.WBProbeBytes, x.fnWBProbe)
+	c.l4Read(start, x.loc, c.lay.WBProbeBytes, x.fnWBProbe) //bear:deferred WBProbe
 }
 
 var _ Cache = (*Controller)(nil)

@@ -82,7 +82,7 @@ type Queue struct {
 	h []item
 
 	seq uint64
-	now uint64
+	now uint64 //bear:clock
 }
 
 // Now returns the current simulation time in CPU cycles.
@@ -92,6 +92,7 @@ func (q *Queue) Now() uint64 { return q.now }
 // error and panics, because it would silently corrupt causality.
 //
 //bear:hotpath
+//bear:clock at
 func (q *Queue) At(at uint64, fn Func) {
 	if at < q.now {
 		panic("event: scheduled in the past")
@@ -115,6 +116,7 @@ func (q *Queue) After(delay uint64, fn Func) {
 // pushCal appends an event to its cycle's bucket in O(1).
 //
 //bear:hotpath
+//bear:clock at
 func (q *Queue) pushCal(at uint64, fn Func) {
 	if q.heads == nil {
 		q.heads = make([]int32, calBuckets)

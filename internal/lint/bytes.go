@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The bytes rule statically proves the invariant Fig 12/13's bloat
+// decomposition rests on: every DRAM transfer the engine enqueues lands in
+// exactly one bloat category. A call to a //bear:enqueue function (the
+// engine's l4Read/l4Write wrappers) must, on every path through the
+// enclosing function, pair with exactly one //bear:bytes attribution call
+// carrying the same byte expression — or carry a //bear:deferred <Category>
+// annotation when the bytes are attributed at completion time inside the
+// transaction callback (the engine's convention for reads: writes attribute
+// at enqueue, reads at completion).
+//
+// Matching is by normalized byte-expression text per path, with counters
+// merged across branches: pend (enqueued-but-unattributed, max over
+// branches — a site pending on any path is pending) and surplus
+// (attributed-but-not-yet-enqueued, min over branches — an attribution must
+// precede the enqueue on every path to count). An attribution first
+// consumes pend, else banks surplus; an enqueue first consumes surplus,
+// else goes pending. Left-over pend at a non-panic exit is an unattributed
+// transfer, reported at the enqueue site; left-over surplus that ever
+// matched an enqueue is a double attribution, reported at the extra
+// attribution site. Surplus that never matched is silent: it is the
+// completion-side half of a //bear:deferred pair, executing in a different
+// function than its enqueue.
+
+// pendCap bounds the pend counter so unbalanced loops converge; any
+// unattributed path has pend >= 1 long before the cap.
+const pendCap = 8
+
+type byteSite struct {
+	pos  token.Pos
+	kind string // "read" or "write"
+}
+
+// byteCount is the per-key lattice element.
+type byteCount struct {
+	pend      int
+	surplus   int
+	matched   bool
+	sites     []byteSite  // pending enqueue sites, FIFO
+	attrSites []token.Pos // surplus attribution sites, FIFO
+}
+
+// bytesEnv maps normalized byte expressions to their counters.
+type bytesEnv = map[string]*byteCount
+
+type bytesFlow struct {
+	pkg      *Package
+	fset     *token.FileSet
+	sums     map[string]*fnSummary
+	report   reporter
+	fn       *ast.FuncDecl
+	attrCats map[string]bool // categories attributed anywhere in the package
+	reported map[token.Pos]bool
+}
+
+// checkBytes runs the byte-attribution rule over every function in pkg that
+// calls an enqueue wrapper. Functions annotated //bear:enqueue are exempt:
+// they are the boundary the rule checks callers against.
+func (p *Program) checkBytes(pkg *Package, sums map[string]*fnSummary, report reporter) {
+	attrCats := p.attrCategories(pkg, sums)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := p.summaryFor(pkg, fd, sums)
+			if s == nil || s.enqueue != nil || !callsEnqueue(s, sums) {
+				continue
+			}
+			bf := &bytesFlow{pkg: pkg, fset: p.Fset, sums: sums, report: report,
+				fn: fd, attrCats: attrCats, reported: map[token.Pos]bool{}}
+			c := buildCFG(fd, pkg.Info)
+			in := solve[bytesEnv](c, bf)
+			for _, exit := range replay[bytesEnv](c, bf, in) {
+				bf.atExit(exit.s)
+			}
+		}
+	}
+}
+
+func (p *Program) summaryFor(pkg *Package, fd *ast.FuncDecl, sums map[string]*fnSummary) *fnSummary {
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return sums[obj.FullName()]
+}
+
+func callsEnqueue(s *fnSummary, sums map[string]*fnSummary) bool {
+	for _, e := range s.calls {
+		if t := sums[e.target]; t != nil && t.enqueue != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// attrCategories collects every category name attributed in pkg, for
+// validating //bear:deferred annotations against.
+func (p *Program) attrCategories(pkg *Package, sums map[string]*fnSummary) map[string]bool {
+	cats := map[string]bool{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			if s := sums[fn.FullName()]; s != nil && s.attr != nil {
+				if cat := attrCategoryName(pkg.Info, call, s.attr); cat != "" {
+					cats[cat] = true
+				}
+			}
+			return true
+		})
+	}
+	return cats
+}
+
+// attrCategoryName resolves the category an attribution call names: the
+// spec's fixed category, or the named constant passed as the category
+// argument ("" when it is not a named constant — every byte must land in a
+// statically known category for the decomposition to be auditable).
+func attrCategoryName(info *types.Info, call *ast.CallExpr, spec *attrSpec) string {
+	if spec.catArg < 0 {
+		return spec.category
+	}
+	if spec.catArg >= len(call.Args) {
+		return ""
+	}
+	var id *ast.Ident
+	switch e := ast.Unparen(call.Args[spec.catArg]).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.Const); !ok {
+		return ""
+	}
+	return id.Name
+}
+
+func (bf *bytesFlow) entry() bytesEnv { return bytesEnv{} }
+
+func (bf *bytesFlow) clone(e bytesEnv) bytesEnv {
+	out := make(bytesEnv, len(e))
+	for k, v := range e {
+		c := *v
+		c.sites = append([]byteSite(nil), v.sites...)
+		c.attrSites = append([]token.Pos(nil), v.attrSites...)
+		out[k] = &c
+	}
+	return out
+}
+
+// merge folds src into dst: pend maxes (pending on any path is pending),
+// surplus mins (an attribution counts only if it happened on every path),
+// matched ORs, and site lists union so reports name every contributing
+// site. A key absent from one side is the zero count.
+func (bf *bytesFlow) merge(dst, src bytesEnv) bool {
+	changed := false
+	for k, sv := range src {
+		dv, ok := dst[k]
+		if !ok {
+			dv = &byteCount{}
+			dst[k] = dv
+			// A key src tracks and dst does not: dst's side is all zeroes,
+			// so surplus mins to zero and pend maxes to src's.
+			sv = &byteCount{pend: sv.pend, matched: sv.matched,
+				sites: sv.sites, attrSites: nil}
+		}
+		if sv.pend > dv.pend {
+			dv.pend = sv.pend
+			changed = true //bear:nolint maprange — monotone max per independent key
+		}
+		if sv.surplus < dv.surplus {
+			dv.surplus = sv.surplus
+			changed = true //bear:nolint maprange — monotone min per independent key
+		}
+		if sv.matched && !dv.matched {
+			dv.matched = true
+			changed = true //bear:nolint maprange — monotone OR per independent key
+		}
+		if unionSites(&dv.sites, sv.sites) {
+			changed = true //bear:nolint maprange — set union per independent key
+		}
+		if unionPos(&dv.attrSites, sv.attrSites) {
+			changed = true //bear:nolint maprange — set union per independent key
+		}
+	}
+	for k, dv := range dst {
+		if _, ok := src[k]; !ok && dv.surplus > 0 {
+			// src's side never attributed this key: surplus mins to zero.
+			dv.surplus = 0
+			changed = true //bear:nolint maprange — monotone min per independent key
+		}
+	}
+	return changed
+}
+
+func unionSites(dst *[]byteSite, src []byteSite) bool {
+	changed := false
+	for _, s := range src {
+		found := false
+		for _, d := range *dst {
+			if d.pos == s.pos {
+				found = true
+				break
+			}
+		}
+		if !found {
+			*dst = append(*dst, s)
+			changed = true
+		}
+	}
+	if changed {
+		sort.Slice(*dst, func(i, j int) bool { return (*dst)[i].pos < (*dst)[j].pos })
+	}
+	return changed
+}
+
+func unionPos(dst *[]token.Pos, src []token.Pos) bool {
+	changed := false
+	for _, s := range src {
+		found := false
+		for _, d := range *dst {
+			if d == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			*dst = append(*dst, s)
+			changed = true
+		}
+	}
+	if changed {
+		sort.Slice(*dst, func(i, j int) bool { return (*dst)[i] < (*dst)[j] })
+	}
+	return changed
+}
+
+func (bf *bytesFlow) refine(bytesEnv, ast.Expr, bool) {}
+
+func (bf *bytesFlow) transfer(e bytesEnv, n ast.Node, report bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			// A literal's body runs later, on its own path; its enqueues are
+			// not part of this one.
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if spec := bf.pkgAttrSpec(call); spec != nil {
+			bf.attribute(e, call, spec, report)
+		} else if spec := bf.pkgEnqueueSpec(call); spec != nil {
+			bf.enqueue(e, call, spec, report)
+		}
+		return true
+	})
+}
+
+func (bf *bytesFlow) pkgAttrSpec(call *ast.CallExpr) *attrSpec {
+	fn := funcFor(bf.pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if s := bf.sums[fn.FullName()]; s != nil {
+		return s.attr
+	}
+	return nil
+}
+
+func (bf *bytesFlow) pkgEnqueueSpec(call *ast.CallExpr) *enqueueSpec {
+	fn := funcFor(bf.pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if s := bf.sums[fn.FullName()]; s != nil {
+		return s.enqueue
+	}
+	return nil
+}
+
+func (bf *bytesFlow) attribute(e bytesEnv, call *ast.CallExpr, spec *attrSpec, report bool) {
+	if spec.bytesArg >= len(call.Args) {
+		return
+	}
+	if spec.catArg >= 0 && attrCategoryName(bf.pkg.Info, call, spec) == "" && report && !bf.reported[call.Pos()] {
+		bf.reported[call.Pos()] = true
+		bf.report(bf.pkg, RuleBytes, call.Args[spec.catArg].Pos(),
+			"attribution category must be a named stats category constant")
+	}
+	key := types.ExprString(call.Args[spec.bytesArg])
+	c := envCount(e, key)
+	if c.pend > 0 {
+		c.pend--
+		if len(c.sites) > 0 {
+			c.sites = c.sites[1:]
+		}
+		c.matched = true
+		return
+	}
+	c.surplus++
+	c.attrSites = append(c.attrSites, call.Pos())
+}
+
+func (bf *bytesFlow) enqueue(e bytesEnv, call *ast.CallExpr, spec *enqueueSpec, report bool) {
+	if spec.bytesArg >= len(call.Args) {
+		return
+	}
+	pos := bf.fset.Position(call.Pos())
+	if cat, ok := bf.pkg.deferred[pos.Filename][pos.Line]; ok {
+		if report && !bf.attrCats[cat] && !bf.reported[call.Pos()] {
+			bf.reported[call.Pos()] = true
+			bf.report(bf.pkg, RuleBytes, call.Pos(),
+				"//bear:deferred names category %s, which no attribution call in this package ever uses", cat)
+		}
+		return
+	}
+	key := types.ExprString(call.Args[spec.bytesArg])
+	c := envCount(e, key)
+	if c.surplus > 0 {
+		c.surplus--
+		if len(c.attrSites) > 0 {
+			c.attrSites = c.attrSites[1:]
+		}
+		c.matched = true
+		return
+	}
+	if c.pend < pendCap {
+		c.pend++
+	}
+	c.sites = append(c.sites, byteSite{pos: call.Pos(), kind: spec.kind})
+}
+
+func envCount(e bytesEnv, key string) *byteCount {
+	c, ok := e[key]
+	if !ok {
+		c = &byteCount{}
+		e[key] = c
+	}
+	return c
+}
+
+// atExit reports the leftovers of one non-panic exit path.
+func (bf *bytesFlow) atExit(e bytesEnv) {
+	keys := make([]string, 0, len(e))
+	for k := range e {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := e[k]
+		if c.pend > 0 {
+			for _, s := range c.sites {
+				if bf.reported[s.pos] {
+					continue
+				}
+				bf.reported[s.pos] = true
+				bf.report(bf.pkg, RuleBytes, s.pos,
+					"DRAM %s of %s bytes reaches a return without attributing them to a bloat category; add a //bear:bytes attribution on every path or mark the site //bear:deferred <Category>",
+					s.kind, k)
+			}
+		}
+		if c.surplus > 0 && c.matched {
+			for _, p := range c.attrSites {
+				if bf.reported[p] {
+					continue
+				}
+				bf.reported[p] = true
+				bf.report(bf.pkg, RuleBytes, p,
+					"bytes %s are attributed more than once on a path through %s", k, bf.fn.Name.Name)
+			}
+		}
+	}
+}

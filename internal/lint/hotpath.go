@@ -47,6 +47,10 @@ type fnSummary struct {
 	decl       *ast.FuncDecl
 	hotpath    bool
 	acquire    bool
+	enqueue    *enqueueSpec // //bear:enqueue — DRAM transfer boundary (bytes rule)
+	attr       *attrSpec    // //bear:bytes — byte-attribution helper (bytes rule)
+	clock      *clockSpec   // //bear:clock — trusted/checked clock params (timeflow rule)
+	annotErrs  []annotErr
 	constructs []construct
 	calls      []callEdge
 
@@ -76,6 +80,7 @@ func (p *Program) summarize() map[string]*fnSummary {
 					hotpath: hasAnnotation(fd, "//bear:hotpath"),
 					acquire: hasAnnotation(fd, "//bear:acquire"),
 				}
+				parseAnnotations(fd, s)
 				p.scanBody(pkg, fd, s)
 				sums[obj.FullName()] = s
 			}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMutationCatchesDroppedAttribution is the smoke test for the bytes
+// rule's end-to-end value: delete one real byte attribution from a throwaway
+// copy of internal/dramcache/engine.go and assert simlint notices. A
+// pristine copy is analyzed the same way as a control, proving the signal
+// comes from the mutation and not from the harness.
+//
+// The copies live under testdata (inside the module), because the source
+// importer resolves their `bear/...` imports through go list, which must
+// find the enclosing module. testdata directories are invisible to the
+// repository lint run itself.
+func TestMutationCatchesDroppedAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks internal/dramcache twice; skipped in -short")
+	}
+
+	const dropped = "AddBytes(stats.MissFill"
+	pristine := copyDramcache(t, "pristine", "")
+	mutated := copyDramcache(t, "mutated", dropped)
+
+	for _, tc := range []struct {
+		name, dir string
+		wantLeak  bool
+	}{
+		{"pristine", pristine, false},
+		{"mutated", mutated, true},
+	} {
+		path := "bear/internal/lint/" + tc.dir // unique per copy
+		prog, err := LoadSpecs([]PackageSpec{
+			{Dir: filepath.Join("..", "stats"), Path: "bear/internal/stats"},
+			{Dir: tc.dir, Path: path},
+		})
+		if err != nil {
+			t.Fatalf("%s: load: %v", tc.name, err)
+		}
+		cfg := Config{Bytes: func(p string) bool { return p == path }}
+		var leaks []string
+		for _, d := range prog.Run(cfg) {
+			if d.Rule == RuleBytes {
+				leaks = append(leaks, d.String())
+			}
+		}
+		if tc.wantLeak {
+			found := false
+			for _, l := range leaks {
+				if strings.Contains(l, "engine.go") && strings.Contains(l, "without attributing") {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("mutated copy (dropped %q): want an unattributed-transfer diagnostic in engine.go, got %q", dropped, leaks)
+			}
+		} else if len(leaks) > 0 {
+			t.Errorf("pristine copy: unexpected bytes diagnostics: %q", leaks)
+		}
+	}
+}
+
+// copyDramcache copies internal/dramcache's non-test sources into a fresh
+// directory under testdata, deleting any line containing drop (when
+// non-empty) from engine.go. It returns the directory, cleaned up with the
+// test.
+func copyDramcache(t *testing.T, label, drop string) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("testdata", "mutation-"+label+"-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+
+	src := filepath.Join("..", "dramcache")
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	droppedAny := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drop != "" && name == "engine.go" {
+			var kept []string
+			for _, line := range strings.Split(string(b), "\n") {
+				if strings.Contains(line, drop) {
+					droppedAny = true
+					continue
+				}
+				kept = append(kept, line)
+			}
+			b = []byte(strings.Join(kept, "\n"))
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if drop != "" && !droppedAny {
+		t.Fatalf("mutation target %q not found in engine.go; update the test", drop)
+	}
+	return dir
+}

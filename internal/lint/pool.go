@@ -17,14 +17,19 @@ import (
 // a channel, or return it to the caller. A path that simply drops the
 // object leaks it from the pool.
 //
-// The analysis is a conservative intraprocedural dataflow over the syntax
-// tree: branches merge with AND (consumed only if consumed on every arm),
-// loop bodies do not count toward the paths around them, and reassigning
-// the tracked variable forfeits tracking. Reads of the object's fields and
-// writes into the object are not hand-offs.
+// The analysis runs on the shared CFG/dataflow framework (cfg.go,
+// dataflow.go): per tracked variable the lattice is
+// {untracked, consumed, unconsumed}, branches merge with AND (consumed only
+// if consumed on every incoming path), a loop that may run zero times does
+// not satisfy the paths around it, reassigning the tracked variable
+// forfeits tracking, and paths that end in panic are silent. Reads of the
+// object's fields and writes into the object are not hand-offs.
 
-// poolState tracks acquired objects within one function.
-type poolState struct {
+// poolEnv maps tracked objects to "consumed on this path".
+type poolEnv = map[*types.Var]bool
+
+// poolFlow is the dataflow client; one instance analyses one function.
+type poolFlow struct {
 	pkg      *Package
 	sums     map[string]*fnSummary
 	report   reporter
@@ -36,17 +41,6 @@ type acquisition struct {
 	origin string // display name of the acquire call
 }
 
-// env maps tracked objects to "consumed on this path".
-type env map[*types.Var]bool
-
-func (e env) clone() env {
-	out := make(env, len(e))
-	for k, v := range e {
-		out[k] = v
-	}
-	return out
-}
-
 // checkPools runs the pool-discipline check over every function in pkg.
 func (p *Program) checkPools(pkg *Package, sums map[string]*fnSummary, report reporter) {
 	for _, file := range pkg.Files {
@@ -55,20 +49,109 @@ func (p *Program) checkPools(pkg *Package, sums map[string]*fnSummary, report re
 			if !ok || fd.Body == nil {
 				continue
 			}
-			ps := &poolState{pkg: pkg, sums: sums, report: report, acquired: map[*types.Var]*acquisition{}}
-			e := env{}
-			terminated := ps.walkStmts(fd.Body.List, e)
-			if !terminated {
-				ps.atReturn(fd.Body.End()-1, e, "end of function")
+			pf := &poolFlow{pkg: pkg, sums: sums, report: report,
+				acquired: map[*types.Var]*acquisition{}}
+			c := buildCFG(fd, pkg.Info)
+			in := solve[poolEnv](c, pf)
+			for _, exit := range replay[poolEnv](c, pf, in) {
+				pos := fd.Body.End() - 1
+				where := "end of function"
+				if exit.b.kind == exitReturn {
+					pos = exit.b.ret.Pos()
+					where = "this return"
+				}
+				pf.atExit(pos, exit.s, where)
 			}
 		}
 	}
 }
 
+func (pf *poolFlow) entry() poolEnv { return poolEnv{} }
+
+func (pf *poolFlow) clone(e poolEnv) poolEnv {
+	out := make(poolEnv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// merge folds src into dst: tracked-unconsumed dominates tracked-consumed
+// dominates untracked, so a variable is consumed only where every incoming
+// path consumed it, and a branch-local acquisition stays tracked after the
+// join.
+func (pf *poolFlow) merge(dst, src poolEnv) bool {
+	changed := false
+	for v, consumed := range src {
+		prev, tracked := dst[v]
+		if !tracked {
+			dst[v] = consumed
+			changed = true //bear:nolint maprange — monotone OR flag; order-independent
+			continue
+		}
+		if prev && !consumed {
+			dst[v] = false
+			changed = true //bear:nolint maprange — monotone OR flag; order-independent
+		}
+	}
+	return changed
+}
+
+func (pf *poolFlow) refine(poolEnv, ast.Expr, bool) {}
+
+func (pf *poolFlow) transfer(e poolEnv, n ast.Node, report bool) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		// Track `x := acquire()` / `x, _ := pool.Get().(*T)` bindings.
+		if len(s.Rhs) == 1 {
+			if call, origin, ok := pf.acquireIn(s.Rhs[0]); ok {
+				pf.consumeIn(s.Rhs[0], e) // args may consume earlier objects
+				if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+					if v, ok := obj(pf.pkg.Info, id).(*types.Var); ok {
+						pf.acquired[v] = &acquisition{v: v, origin: origin}
+						e[v] = false
+						return
+					}
+				}
+				// Bound to something un-trackable (field, index): treat the
+				// store itself as the hand-off.
+				_ = call
+				return
+			}
+		}
+		pf.consumeAssign(s, e)
+	case *ast.ExprStmt:
+		if call, origin, ok := pf.acquireIn(s.X); ok {
+			if report {
+				pf.report(pf.pkg, RulePool, call.Pos(),
+					"result of %s is dropped; the pooled object leaks immediately", origin)
+			}
+			return
+		}
+		pf.consumeIn(s.X, e)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			pf.consumeIn(r, e)
+		}
+	case *ast.SendStmt:
+		pf.consumeIn(s.Value, e)
+	case *ast.DeferStmt:
+		pf.consumeIn(s.Call, e)
+	case *ast.GoStmt:
+		pf.consumeIn(s.Call, e)
+	case *ast.IncDecStmt, *ast.DeclStmt, *ast.RangeStmt:
+		// pure mutation / declarations / the per-iteration range binding:
+		// never a hand-off
+	case ast.Expr:
+		// conditions, switch tags, case expressions, range operands
+		pf.consumeIn(s, e)
+	}
+}
+
 // isAcquire reports whether call obtains a pooled object: sync.Pool.Get or
 // a project function annotated //bear:acquire.
-func (ps *poolState) isAcquire(call *ast.CallExpr) (string, bool) {
-	fn := funcFor(ps.pkg.Info, call)
+func (pf *poolFlow) isAcquire(call *ast.CallExpr) (string, bool) {
+	fn := funcFor(pf.pkg.Info, call)
 	if fn == nil {
 		return "", false
 	}
@@ -76,7 +159,7 @@ func (ps *poolState) isAcquire(call *ast.CallExpr) (string, bool) {
 	if full == "(*sync.Pool).Get" {
 		return "sync.Pool.Get", true
 	}
-	if s := ps.sums[full]; s != nil && s.acquire {
+	if s := pf.sums[full]; s != nil && s.acquire {
 		return displayName(fn), true
 	}
 	return "", false
@@ -84,7 +167,7 @@ func (ps *poolState) isAcquire(call *ast.CallExpr) (string, bool) {
 
 // acquireIn unwraps expr (through parens and type assertions) to an acquire
 // call, if it is one.
-func (ps *poolState) acquireIn(expr ast.Expr) (*ast.CallExpr, string, bool) {
+func (pf *poolFlow) acquireIn(expr ast.Expr) (*ast.CallExpr, string, bool) {
 	e := ast.Unparen(expr)
 	if ta, ok := e.(*ast.TypeAssertExpr); ok {
 		e = ast.Unparen(ta.X)
@@ -93,193 +176,21 @@ func (ps *poolState) acquireIn(expr ast.Expr) (*ast.CallExpr, string, bool) {
 	if !ok {
 		return nil, "", false
 	}
-	origin, ok := ps.isAcquire(call)
+	origin, ok := pf.isAcquire(call)
 	return call, origin, ok
 }
 
-// walkStmts interprets a statement list, updating e and reporting drops at
-// return points. It returns true when the list always terminates (every
-// path ends in return or panic) so callers exclude it from merges.
-func (ps *poolState) walkStmts(stmts []ast.Stmt, e env) bool {
-	for _, stmt := range stmts {
-		if ps.walkStmt(stmt, e) {
-			return true
-		}
-	}
-	return false
-}
-
-func (ps *poolState) walkStmt(stmt ast.Stmt, e env) bool {
-	switch s := stmt.(type) {
-	case *ast.AssignStmt:
-		// Track `x := acquire()` / `x, _ := pool.Get().(*T)` bindings.
-		if len(s.Rhs) == 1 {
-			if call, origin, ok := ps.acquireIn(s.Rhs[0]); ok {
-				ps.consumeIn(s.Rhs[0], e) // args may consume earlier objects
-				if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
-					if v, ok := obj(ps.pkg.Info, id).(*types.Var); ok {
-						ps.acquired[v] = &acquisition{v: v, origin: origin}
-						e[v] = false
-						return false
-					}
-				}
-				// Bound to something un-trackable (field, index): treat the
-				// store itself as the hand-off.
-				_ = call
-				return false
-			}
-		}
-		ps.consumeAssign(s, e)
-	case *ast.ExprStmt:
-		if call, origin, ok := ps.acquireIn(s.X); ok {
-			ps.report(ps.pkg, RulePool, call.Pos(),
-				"result of %s is dropped; the pooled object leaks immediately", origin)
-			return false
-		}
-		ps.consumeIn(s.X, e)
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			ps.consumeIn(r, e)
-		}
-		ps.atReturn(s.Pos(), e, "this return")
-		return true
-	case *ast.IfStmt:
-		if s.Init != nil {
-			ps.walkStmt(s.Init, e)
-		}
-		ps.consumeIn(s.Cond, e)
-		thenEnv := e.clone()
-		thenTerm := ps.walkStmts(s.Body.List, thenEnv)
-		elseEnv := e.clone()
-		elseTerm := false
-		if s.Else != nil {
-			elseTerm = ps.walkStmt(s.Else, elseEnv)
-		}
-		mergeBranches(e, []env{thenEnv, elseEnv}, []bool{thenTerm, elseTerm})
-		return thenTerm && elseTerm
-	case *ast.BlockStmt:
-		return ps.walkStmts(s.List, e)
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
-		return ps.walkSwitch(s, e)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			ps.walkStmt(s.Init, e)
-		}
-		if s.Cond != nil {
-			ps.consumeIn(s.Cond, e)
-		}
-		body := e.clone()
-		ps.walkStmts(s.Body.List, body)
-		// Conservative: the loop may run zero times, so consumption inside
-		// it does not satisfy the paths after it. A condition-free for loop
-		// only exits via return/break inside the body.
-		return s.Cond == nil && !hasBreak(s.Body)
-	case *ast.RangeStmt:
-		ps.consumeIn(s.X, e)
-		body := e.clone()
-		ps.walkStmts(s.Body.List, body)
-	case *ast.DeferStmt:
-		ps.consumeIn(s.Call, e)
-	case *ast.GoStmt:
-		ps.consumeIn(s.Call, e)
-	case *ast.SendStmt:
-		ps.consumeIn(s.Value, e)
-	case *ast.IncDecStmt:
-		// pure mutation, never a hand-off
-	case *ast.DeclStmt, *ast.LabeledStmt, *ast.BranchStmt, *ast.EmptyStmt:
-		if ls, ok := stmt.(*ast.LabeledStmt); ok {
-			return ps.walkStmt(ls.Stmt, e)
-		}
-	case *ast.SelectStmt:
-		for _, clause := range s.Body.List {
-			cc := clause.(*ast.CommClause)
-			branch := e.clone()
-			if cc.Comm != nil {
-				ps.walkStmt(cc.Comm, branch)
-			}
-			ps.walkStmts(cc.Body, branch)
-		}
-	}
-	return false
-}
-
-func (ps *poolState) walkSwitch(stmt ast.Stmt, e env) bool {
-	var body *ast.BlockStmt
-	var init ast.Stmt
-	var tag ast.Expr
-	switch s := stmt.(type) {
-	case *ast.SwitchStmt:
-		body, init, tag = s.Body, s.Init, s.Tag
-	case *ast.TypeSwitchStmt:
-		body, init = s.Body, s.Init
-	}
-	if init != nil {
-		ps.walkStmt(init, e)
-	}
-	if tag != nil {
-		ps.consumeIn(tag, e)
-	}
-	var envs []env
-	var terms []bool
-	hasDefault := false
-	for _, clause := range body.List {
-		cc := clause.(*ast.CaseClause)
-		if cc.List == nil {
-			hasDefault = true
-		}
-		for _, c := range cc.List {
-			ps.consumeIn(c, e)
-		}
-		branch := e.clone()
-		envs = append(envs, branch)
-		terms = append(terms, ps.walkStmts(cc.Body, branch))
-	}
-	if !hasDefault {
-		// A path skips every case: fall back to the incoming env.
-		envs = append(envs, e.clone())
-		terms = append(terms, false)
-	}
-	mergeBranches(e, envs, terms)
-	allTerm := true
-	for _, t := range terms {
-		allTerm = allTerm && t
-	}
-	return allTerm
-}
-
-// mergeBranches folds branch envs back into e: consumed only where every
-// non-terminated branch consumed. Terminated branches already reported
-// their own paths.
-func mergeBranches(e env, branches []env, terminated []bool) {
-	for v := range e {
-		all := true
-		any := false
-		for i, b := range branches {
-			if terminated[i] {
-				continue
-			}
-			any = true
-			all = all && b[v]
-		}
-		if any {
-			e[v] = all
-		}
-		// All branches terminated: unreachable after the statement; the
-		// caller's terminated flag covers it.
-	}
-}
-
-// atReturn reports every tracked object not consumed on this path.
-func (ps *poolState) atReturn(pos token.Pos, e env, where string) {
+// atExit reports every tracked object not consumed on this path.
+func (pf *poolFlow) atExit(pos token.Pos, e poolEnv, where string) {
 	var leaked []*acquisition
 	for v, consumed := range e {
 		if !consumed {
-			leaked = append(leaked, ps.acquired[v])
+			leaked = append(leaked, pf.acquired[v])
 		}
 	}
 	sort.Slice(leaked, func(i, j int) bool { return leaked[i].v.Pos() < leaked[j].v.Pos() })
 	for _, a := range leaked {
-		ps.report(ps.pkg, RulePool, pos,
+		pf.report(pf.pkg, RulePool, pos,
 			"pooled object %s (from %s) is dropped on %s; release it or hand it off on every path",
 			a.v.Name(), a.origin, where)
 	}
@@ -290,12 +201,12 @@ func (ps *poolState) atReturn(pos token.Pos, e env, where string) {
 // consumed unless the LHS is rooted at the object itself (updating the
 // pooled object's own fields is not a hand-off). Reassigning a tracked
 // variable forfeits tracking.
-func (ps *poolState) consumeAssign(s *ast.AssignStmt, e env) {
+func (pf *poolFlow) consumeAssign(s *ast.AssignStmt, e poolEnv) {
 	for i, lhs := range s.Lhs {
 		root := rootIdent(lhs)
 		var rootVar *types.Var
 		if root != nil {
-			rootVar, _ = obj(ps.pkg.Info, root).(*types.Var)
+			rootVar, _ = obj(pf.pkg.Info, root).(*types.Var)
 		}
 		if rootVar != nil {
 			if _, tracked := e[rootVar]; tracked {
@@ -306,32 +217,32 @@ func (ps *poolState) consumeAssign(s *ast.AssignStmt, e env) {
 				// x.f = rhs / x.f[i] = rhs: self-update; RHS mentions of x
 				// itself are not hand-offs either.
 				if i < len(s.Rhs) {
-					ps.consumeExcept(s.Rhs[i], e, rootVar)
+					pf.consumeExcept(s.Rhs[i], e, rootVar)
 				}
 				continue
 			}
 		}
 		// Storing into an index (m[k] = x) can consume via the key too.
 		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
-			ps.consumeIn(idx.Index, e)
+			pf.consumeIn(idx.Index, e)
 		}
 		if i < len(s.Rhs) {
-			ps.consumeIn(s.Rhs[i], e)
+			pf.consumeIn(s.Rhs[i], e)
 		}
 	}
 	if len(s.Lhs) != len(s.Rhs) {
 		for _, rhs := range s.Rhs {
-			ps.consumeIn(rhs, e)
+			pf.consumeIn(rhs, e)
 		}
 	}
 }
 
 // consumeIn marks every tracked object mentioned in expr as consumed.
-func (ps *poolState) consumeIn(expr ast.Expr, e env) {
-	ps.consumeExcept(expr, e, nil)
+func (pf *poolFlow) consumeIn(expr ast.Expr, e poolEnv) {
+	pf.consumeExcept(expr, e, nil)
 }
 
-func (ps *poolState) consumeExcept(expr ast.Expr, e env, except *types.Var) {
+func (pf *poolFlow) consumeExcept(expr ast.Expr, e poolEnv, except *types.Var) {
 	if expr == nil {
 		return
 	}
@@ -340,7 +251,7 @@ func (ps *poolState) consumeExcept(expr ast.Expr, e env, except *types.Var) {
 		if !ok {
 			return true
 		}
-		v, ok := obj(ps.pkg.Info, id).(*types.Var)
+		v, ok := obj(pf.pkg.Info, id).(*types.Var)
 		if !ok || v == except {
 			return true
 		}
@@ -349,35 +260,4 @@ func (ps *poolState) consumeExcept(expr ast.Expr, e env, except *types.Var) {
 		}
 		return true
 	})
-}
-
-// hasBreak reports whether body contains a break that exits the loop it
-// belongs to (unlabeled, not nested inside an inner loop or switch).
-func hasBreak(body *ast.BlockStmt) bool {
-	found := false
-	var walk func(s ast.Stmt)
-	walk = func(s ast.Stmt) {
-		switch s := s.(type) {
-		case *ast.BranchStmt:
-			if s.Tok == token.BREAK {
-				found = true
-			}
-		case *ast.BlockStmt:
-			for _, st := range s.List {
-				walk(st)
-			}
-		case *ast.IfStmt:
-			walk(s.Body)
-			if s.Else != nil {
-				walk(s.Else)
-			}
-		case *ast.LabeledStmt:
-			walk(s.Stmt)
-		}
-		// For/Range/Switch/Select re-bind break; stop descending.
-	}
-	for _, st := range body.List {
-		walk(st)
-	}
-	return found
 }

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The stats rule audits the counters themselves: every field of the structs
+// in the gated stats packages must be written by some simulation path AND
+// read by some experiment or report, across the whole analyzed program. A
+// counter nobody writes reports zero forever; a counter nobody reads is
+// collected but invisible — both are the silent kind of rot that makes a
+// paper figure lie. The census is program-wide, so the rule only means
+// something on whole-module runs; cmd/simlint enables it for `./...` only.
+//
+// Classification: an assignment or ++/-- through a selector is a write
+// (compound assignments count as writes only — `s.X += n` accumulates, it
+// does not consume); a keyed composite-literal field is a write; taking a
+// field's address is both (the pointer can do either); every other selector
+// occurrence is a read. Object identity does not survive the source
+// importer's per-package re-imports, so fields are keyed by the string
+// "pkgpath.Struct.Field".
+
+type statsField struct {
+	pkg     *Package
+	pos     token.Pos
+	label   string // Struct.Field, for messages
+	written bool
+	read    bool
+}
+
+func (p *Program) checkStatsFields(cfg Config, report reporter) {
+	fields := map[string]*statsField{}
+	var order []string
+	for _, pkg := range p.Pkgs {
+		if !cfg.statsFields(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, f := range st.Fields.List {
+						for _, name := range f.Names {
+							key := pkg.Path + "." + ts.Name.Name + "." + name.Name
+							fields[key] = &statsField{pkg: pkg, pos: name.Pos(),
+								label: ts.Name.Name + "." + name.Name}
+							order = append(order, key)
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			censusFile(pkg, file, fields)
+		}
+	}
+
+	for _, key := range order {
+		f := fields[key]
+		switch {
+		case !f.written && !f.read:
+			report(f.pkg, RuleStats, f.pos,
+				"stats field %s is never written and never consumed; delete it or wire it up", f.label)
+		case !f.written:
+			report(f.pkg, RuleStats, f.pos,
+				"stats field %s is never written by any simulation path; it reports zero forever", f.label)
+		case !f.read:
+			report(f.pkg, RuleStats, f.pos,
+				"stats field %s is never consumed by any experiment or report; the counter is collected but invisible", f.label)
+		}
+	}
+}
+
+// censusFile classifies every tracked-field occurrence in file as read,
+// write or both.
+func censusFile(pkg *Package, file *ast.File, fields map[string]*statsField) {
+	// writeOnly holds the exact selector nodes that are pure write contexts,
+	// so the read pass can skip them.
+	writeOnly := map[*ast.SelectorExpr]bool{}
+
+	mark := func(sel *ast.SelectorExpr, write, read bool) {
+		// Writing x.a.b mutates a as well as b: mark the whole selector
+		// chain, so a struct field only ever reached through its members
+		// still counts as written.
+		for sel != nil {
+			if f := fields[selectorFieldKey(pkg, sel)]; f != nil {
+				if write {
+					f.written = true
+				}
+				if read {
+					f.read = true
+				}
+				if write && !read {
+					writeOnly[sel] = true
+				}
+			}
+			sel = coreSelector(sel.X)
+		}
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// A pointer-receiver method invoked on a field can mutate it:
+			// s.HitHist.Add(lat) writes HitHist, l4.HitHist.Percentile(p)
+			// reads it. The signature cannot tell the two apart, so a
+			// pointer-method call counts as both.
+			msel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pkg.Info.Selections[msel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			fn, ok := selection.Obj().(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			if _, ptr := sig.Recv().Type().(*types.Pointer); !ptr {
+				return true
+			}
+			if sel := coreSelector(msel.X); sel != nil {
+				mark(sel, true, true)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel := coreSelector(lhs); sel != nil {
+					mark(sel, true, false)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel := coreSelector(n.X); sel != nil {
+				mark(sel, true, false)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if sel := coreSelector(n.X); sel != nil {
+					mark(sel, true, true)
+				}
+			}
+		case *ast.CompositeLit:
+			named := namedOf(pkg.Info.TypeOf(n))
+			if named == nil || named.Obj().Pkg() == nil {
+				return true
+			}
+			prefix := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "."
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if f := fields[prefix+key.Name]; f != nil {
+						f.written = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Read pass: every selector occurrence that was not a pure write.
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || writeOnly[sel] {
+			return true
+		}
+		if f := fields[selectorFieldKey(pkg, sel)]; f != nil {
+			f.read = true
+		}
+		return true
+	})
+}
+
+// coreSelector strips parens, indexes and stars off an assignable
+// expression down to the field selector being written, if any:
+// coreSelector(s.Bytes[c]) == s.Bytes.
+func coreSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// selectorFieldKey resolves sel to its "pkgpath.Struct.Field" key, or "".
+func selectorFieldKey(pkg *Package, sel *ast.SelectorExpr) string {
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	f, ok := selection.Obj().(*types.Var)
+	if !ok || !f.IsField() || f.Pkg() == nil {
+		return ""
+	}
+	named := namedOf(selection.Recv())
+	if named == nil {
+		return ""
+	}
+	return f.Pkg().Path() + "." + named.Obj().Name() + "." + f.Name()
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,125 @@
+// Package bytes exercises the byte-attribution family: every call to a
+// //bear:enqueue wrapper must pair, on every path, with exactly one
+// //bear:bytes attribution of the same byte expression (or carry a
+// //bear:deferred <Category> for completion-time attribution).
+package bytes
+
+type category int
+
+const (
+	missFill category = iota
+	hitProbe
+	wbUpdate
+)
+
+type stats struct{ bytes [8]uint64 }
+
+// addBytes mirrors stats.L4.AddBytes: the category is argument 0, the byte
+// count argument 1.
+//
+//bear:bytes arg=0 bytes=1
+func (s *stats) addBytes(c category, n int) { s.bytes[c] += uint64(n) }
+
+// addFill is a fixed-category helper.
+//
+//bear:bytes missFill bytes=0
+func (s *stats) addFill(n int) { s.bytes[missFill] += uint64(n) }
+
+type ctl struct{ st stats }
+
+// dramRead mirrors the engine's l4Read enqueue wrapper.
+//
+//bear:enqueue read bytes=1
+func (c *ctl) dramRead(at uint64, n int) {}
+
+// dramWrite mirrors l4Write.
+//
+//bear:enqueue write bytes=1
+func (c *ctl) dramWrite(at uint64, n int) {}
+
+// attrThenEnqueue: the engine's write convention — attribute, then enqueue.
+func (c *ctl) attrThenEnqueue(now uint64, n int) {
+	c.st.addBytes(missFill, n)
+	c.dramWrite(now, n)
+}
+
+// enqueueThenAttr: order within the path does not matter.
+func (c *ctl) enqueueThenAttr(now uint64, n int) {
+	c.dramWrite(now, n)
+	c.st.addBytes(wbUpdate, n)
+}
+
+// fixedCategory: a fixed-category helper attributes too.
+func (c *ctl) fixedCategory(now uint64, n int) {
+	c.st.addFill(n)
+	c.dramWrite(now, n)
+}
+
+// branchJoin: each branch enqueues once; one attribution after the join
+// covers whichever executed.
+func (c *ctl) branchJoin(now uint64, n int, cond bool) {
+	if cond {
+		c.dramRead(now, n)
+	} else {
+		c.dramWrite(now, n)
+	}
+	c.st.addBytes(missFill, n)
+}
+
+// loopBalanced: attribution and enqueue stay balanced per iteration.
+func (c *ctl) loopBalanced(now uint64, n int) {
+	for i := 0; i < 4; i++ {
+		c.st.addBytes(missFill, n)
+		c.dramWrite(now, n)
+	}
+}
+
+// deferredRead: the engine's read convention — bytes land in a category at
+// completion time, inside the transaction callback.
+func (c *ctl) deferredRead(now uint64, n int) {
+	c.dramRead(now, n) //bear:deferred hitProbe
+}
+
+// panicPath: a crash path is silent; the surviving path attributes.
+func (c *ctl) panicPath(now uint64, n int, bad bool) {
+	c.dramWrite(now, n)
+	if bad {
+		panic("invariant")
+	}
+	c.st.addBytes(missFill, n)
+}
+
+func (c *ctl) leak(now uint64, n int) {
+	c.dramWrite(now, n) // want "bytes: DRAM write of n bytes reaches a return without attributing them"
+}
+
+func (c *ctl) branchLeak(now uint64, n int, cond bool) {
+	c.dramRead(now, n) // want "bytes: DRAM read of n bytes reaches a return without attributing them"
+	if cond {
+		c.st.addBytes(missFill, n)
+	}
+}
+
+func (c *ctl) doubleAttr(now uint64, n int) {
+	c.st.addBytes(missFill, n)
+	c.st.addBytes(hitProbe, n) // want "bytes: bytes n are attributed more than once on a path through doubleAttr"
+	c.dramWrite(now, n)
+}
+
+func (c *ctl) deferredUnknown(now uint64, n int) {
+	//bear:deferred bogus
+	c.dramRead(now, n) // want "bytes: //bear:deferred names category bogus, which no attribution call in this package ever uses"
+}
+
+func (c *ctl) mismatchedExpr(now uint64, n int) {
+	c.st.addBytes(missFill, n+1)
+	c.dramWrite(now, n) // want "bytes: DRAM write of n bytes reaches a return without attributing them"
+}
+
+func (c *ctl) variableCategory(now uint64, n int, k category) {
+	c.st.addBytes(k, n) // want "bytes: attribution category must be a named stats category constant"
+	c.dramWrite(now, n)
+}
+
+//bear:bytes bytes=oops // want "bytes: malformed //bear:bytes"
+func (s *stats) badAnnot(n int) {}

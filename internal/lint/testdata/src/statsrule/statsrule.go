@@ -1,0 +1,29 @@
+// Package statsrule exercises the stats field census: every field of the
+// gated package's structs must be written by some simulation path and read
+// by some experiment or report.
+package statsrule
+
+type counters struct {
+	hits   uint64    // written and read: clean
+	misses uint64    // want "stats: stats field counters.misses is never consumed by any experiment or report"
+	stale  uint64    // want "stats: stats field counters.stale is never written by any simulation path"
+	dead   uint64    // want "stats: stats field counters.dead is never written and never consumed"
+	bytes  [4]uint64 // written through an index, read: clean
+}
+
+type engine struct {
+	st counters // mutated through members and read back: clean
+}
+
+func (e *engine) step(hit bool) {
+	e.st.hits++
+	e.st.misses++
+	e.st.bytes[0] += 64
+	if hit {
+		e.st.bytes[1] = e.st.bytes[0]
+	}
+}
+
+func (e *engine) report() (uint64, uint64, uint64) {
+	return e.st.hits, e.st.stale, e.st.bytes[1]
+}

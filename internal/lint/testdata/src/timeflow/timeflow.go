@@ -1,0 +1,98 @@
+// Package timeflow exercises the event-time monotonicity family: arguments
+// reaching a //bear:clock-checked parameter must be provably >= now.
+package timeflow
+
+type queue struct {
+	now uint64 //bear:clock
+}
+
+// At mirrors event.Queue.At: `at` is a trusted clock inside the body and
+// checked at every call site.
+//
+//bear:clock at
+func (q *queue) At(at uint64, fn func()) { q.now = at }
+
+func (q *queue) Now() uint64 { return q.now }
+
+// nextTick returns a trusted clock value.
+//
+//bear:clock result
+func (q *queue) nextTick() uint64 { return q.now + 1 }
+
+// split returns (index, start): only result 1 is a clock.
+//
+//bear:clock result=1
+func (q *queue) split() (int, uint64) { return 0, q.now }
+
+type core struct {
+	q    *queue
+	wake uint64
+}
+
+// delayOK: trusted implicit `now` parameter plus unsigned addition.
+func (c *core) delayOK(now, delay uint64) {
+	c.q.At(now+delay, nil)
+}
+
+// fieldOK: reading a //bear:clock struct field is safe.
+func (c *core) fieldOK() {
+	c.q.At(c.q.now, nil)
+}
+
+// callOK: a Now() read and an annotated-result call are safe.
+func (c *core) callOK() {
+	c.q.At(c.q.Now()+4, nil)
+	c.q.At(c.q.nextTick(), nil)
+}
+
+// tupleOK: the annotated result of a multi-value call is safe.
+func (c *core) tupleOK() {
+	_, start := c.q.split()
+	c.q.At(start, nil)
+}
+
+// maxOK: max with one safe operand is safe.
+func (c *core) maxOK(now uint64) {
+	c.q.At(max(now, c.wake), nil)
+}
+
+// guardOK: branch refinement — inside `c.wake > now`, c.wake is proven.
+func (c *core) guardOK(now uint64) {
+	if c.wake > now {
+		c.q.At(c.wake, nil)
+	}
+}
+
+// localOK: safety propagates through local assignment.
+func (c *core) localOK(now uint64) {
+	t2 := now + 2
+	c.q.At(t2, nil)
+}
+
+func (c *core) literalBad() {
+	c.q.At(1000, nil) // want "timeflow: argument 1000 to clock parameter at of queue.At is a raw literal"
+}
+
+func (c *core) subBad(now uint64) {
+	c.q.At(now-1, nil) // want "timeflow: argument now - 1 to clock parameter at of queue.At subtracts from a clock value"
+}
+
+func (c *core) unprovenBad(now uint64) {
+	c.q.At(c.wake, nil) // want "timeflow: argument c.wake to clock parameter at of queue.At is not provably"
+}
+
+// revokedBad: reassignment from an unsafe source revokes safety.
+func (c *core) revokedBad(now uint64) {
+	t2 := now + 2
+	c.q.At(t2, nil)
+	t2 = c.wake
+	c.q.At(t2, nil) // want "timeflow: argument t2 to clock parameter at of queue.At is not provably"
+}
+
+// halfGuardBad: proven on one branch only is not proven.
+func (c *core) halfGuardBad(now uint64) {
+	if c.wake > now {
+		c.wake++
+	}
+	c.q.At(c.wake, nil) // want "timeflow: argument c.wake to clock parameter at of queue.At is not provably"
+}

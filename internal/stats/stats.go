@@ -83,6 +83,8 @@ type L4 struct {
 }
 
 // AddBytes charges n bus bytes to category c.
+//
+//bear:bytes arg=0 bytes=1
 func (s *L4) AddBytes(c Category, n int) { s.Bytes[c] += uint64(n) }
 
 // Reads returns total LLC read misses that consulted the L4.
@@ -186,6 +188,14 @@ func (r *Run) MPKI() float64 {
 		return 0
 	}
 	return 1000 * float64(r.L3Misses) / float64(r.Instructions)
+}
+
+// L3MissRate returns the fraction of L3 accesses that missed, in [0,1].
+func (r *Run) L3MissRate() float64 {
+	if r.L3Accesses == 0 {
+		return 0
+	}
+	return float64(r.L3Misses) / float64(r.L3Accesses)
 }
 
 // Speedup returns baseline execution time divided by r's execution time for

@@ -20,9 +20,22 @@ fi
 
 go vet ./...
 # simlint enforces the simulator's own invariants (determinism, hot-path
-# alloc-freedom, pool discipline, engine contracts) before the expensive
-# race gate runs; see ARCHITECTURE.md "Enforced invariants".
-go run ./cmd/simlint ./...
+# alloc-freedom, pool discipline, engine contracts, byte attribution,
+# event-time monotonicity, stats census) before the expensive race gate
+# runs; see ARCHITECTURE.md "Enforced invariants". -cache keys the run on a
+# hash of every non-test .go file, so an unchanged tree replays instantly.
+go run ./cmd/simlint -cache ./...
+# The analyzer is held to its own determinism standard: lint the lint
+# package explicitly, so a narrowing of the main gate can never silently
+# exempt it.
+go run ./cmd/simlint ./internal/lint
+# Archive the machine-readable finding set next to the BENCH_<n>.json
+# snapshots (same tree hash as the gate run above, so this replays from the
+# cache rather than re-type-checking).
+go run ./cmd/simlint -cache -json ./... >LINT.json
+# Informational: the audit trail of every //bear:nolint suppression and its
+# reason. Not a gate — the reviewer reads it, the build does not.
+go run ./cmd/simlint -nolint-report
 go build ./...
 # -shuffle=on randomises test order within each package, flushing out
 # tests that silently depend on a predecessor's side effects.
