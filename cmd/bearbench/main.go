@@ -18,38 +18,87 @@
 // so an interrupted sweep resumes where it crashed. -check enables the
 // engine invariant watchdog. Failed simulations do not stop a sweep; the
 // run summarises them on stderr and exits non-zero.
+//
+// SIGINT/SIGTERM interrupt a sweep cleanly: in-flight simulations finish
+// and (with -resume) persist to the store, nothing new starts, and the
+// process exits with code 3 — "interrupted but checkpointed" — so a
+// wrapper can distinguish an operator stop from a failed sweep and simply
+// re-run the same command to resume.
+//
+// -worker turns the process into a bearserve pool worker: it reads unit
+// specs as line-delimited JSON on stdin and writes result-store envelopes
+// on stdout (see internal/serve). -faultplan arms the deterministic
+// fault-injection registry for chaos testing (see internal/faultpoint).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"syscall"
 	"time"
 
 	"bear/internal/exp"
+	"bear/internal/faultpoint"
+	"bear/internal/serve"
 )
+
+// Exit codes: 0 success, 1 unit/experiment failures, 2 usage errors,
+// 3 interrupted by SIGINT/SIGTERM with completed work checkpointed.
+const exitInterrupted = 3
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		run      = flag.String("run", "", "experiment id to run, or 'all'")
-		quick    = flag.Bool("quick", false, "use small quick-check parameters")
-		scale    = flag.Int("scale", 0, "override capacity divisor")
-		warm     = flag.Uint64("warm", 0, "override warm-up instructions per core")
-		meas     = flag.Uint64("meas", 0, "override measured instructions per core")
-		mixes    = flag.Int("mixes", 0, "override number of MIX workloads")
-		seed     = flag.Uint64("seed", 0, "override simulation seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial; output is identical either way)")
-		verbose  = flag.Bool("v", false, "log every simulation as it completes")
-		resume   = flag.String("resume", "", "directory of an on-disk result store; completed units are restored instead of re-simulated")
-		check    = flag.Bool("check", false, "run engine invariant checks each epoch and verify quiescence after every simulation")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		run       = flag.String("run", "", "experiment id to run, or 'all'")
+		quick     = flag.Bool("quick", false, "use small quick-check parameters")
+		scale     = flag.Int("scale", 0, "override capacity divisor")
+		warm      = flag.Uint64("warm", 0, "override warm-up instructions per core")
+		meas      = flag.Uint64("meas", 0, "override measured instructions per core")
+		mixes     = flag.Int("mixes", 0, "override number of MIX workloads")
+		seed      = flag.Uint64("seed", 0, "override simulation seed")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial; output is identical either way)")
+		verbose   = flag.Bool("v", false, "log every simulation as it completes")
+		resume    = flag.String("resume", "", "directory of an on-disk result store; completed units are restored instead of re-simulated")
+		check     = flag.Bool("check", false, "run engine invariant checks each epoch and verify quiescence after every simulation")
+		worker    = flag.Bool("worker", false, "run as a bearserve pool worker: unit specs on stdin, result envelopes on stdout")
+		faultplan = flag.String("faultplan", "", "arm the deterministic fault-injection plan (chaos testing)")
+		unitkey   = flag.String("unitkey", "", "print the result-store key for a design/workload unit and exit (for fault-plan scripting)")
 	)
 	flag.Parse()
 
-	if *list || *run == "" {
+	if *faultplan != "" {
+		plan, err := faultpoint.ParsePlan(*faultplan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bearbench:", err)
+			os.Exit(2)
+		}
+		faultpoint.Arm(plan)
+	}
+
+	if *unitkey != "" {
+		// Store keys are the coordinates of keyed fault-plan entries;
+		// scripts must never hand-write them (the rendering tracks the
+		// internal spec struct), so print the canonical derivation.
+		design, workload, ok := strings.Cut(*unitkey, "/")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "bearbench: -unitkey wants design/workload (e.g. Alloy/soplex)")
+			os.Exit(2)
+		}
+		key, err := exp.UnitSpec{Design: design, Workload: workload}.Key()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bearbench:", err)
+			os.Exit(2)
+		}
+		fmt.Println(key)
+		return
+	}
+
+	if !*worker && (*list || *run == "") {
 		fmt.Println("Experiments (one per paper table/figure):")
 		for _, e := range exp.All() {
 			fmt.Printf("  %-6s %-9s %s\n", e.ID, e.Artifact, e.Title)
@@ -89,6 +138,30 @@ func main() {
 	if *verbose {
 		runner.Log = os.Stderr
 	}
+
+	if *worker {
+		// Pool-worker mode: serve bearserve's unit protocol until stdin
+		// closes. Stdout belongs to the protocol, so progress logging (-v)
+		// stays on stderr; units run serially — the server owns parallelism.
+		runner.Parallel = 1
+		err := serve.WorkerLoop(runner, p.Fingerprint(buildFingerprint()), os.Stdin, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bearbench: worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Interrupt handling: first SIGINT/SIGTERM puts the runner into drain
+	// mode — in-flight simulations finish (and persist to -resume), queued
+	// ones fail fast with ErrInterrupted — and the run exits with code 3.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "bearbench: interrupted — finishing in-flight simulations, checkpointing completed units")
+		runner.Interrupt()
+	}()
 	if *resume != "" {
 		store, err := exp.OpenStore(*resume, p.Fingerprint(buildFingerprint()))
 		if err != nil {
@@ -128,6 +201,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bearbench: %d result(s) restored from %s\n", n, *resume)
 	}
 	runner.WriteFailureTable(os.Stderr)
+	if runner.Interrupted() {
+		where := *resume
+		if where == "" {
+			where = "nowhere (-resume not set; completed units were not persisted)"
+		}
+		fmt.Fprintf(os.Stderr, "bearbench: interrupted; completed units checkpointed to %s — re-run the same command to resume\n", where)
+		os.Exit(exitInterrupted)
+	}
 	if len(failedExps) > 0 {
 		fmt.Fprintf(os.Stderr, "bearbench: %d experiment(s) failed: %s\n", len(failedExps), strings.Join(failedExps, ", "))
 		os.Exit(1)

@@ -13,6 +13,13 @@
 //	bearsim -workload mcf -design BEAR -scale 128 -meas 2000000
 //	bearsim -workload MIX3 -design Alloy
 //	bearsim -workload mcf,lbm,libq -design Alloy,BEAR -parallel 8
+//
+// -resume DIR keeps an on-disk result store (checksummed, atomically
+// written); completed units are restored instead of re-simulated on the
+// next run. SIGINT/SIGTERM interrupt a sweep cleanly: in-flight units
+// finish and (with -resume) persist, queued units never start, completed
+// results print, and the exit code is 3 — "interrupted but checkpointed"
+// — so re-running the same command resumes where the sweep stopped.
 package main
 
 import (
@@ -20,15 +27,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"bear"
 )
+
+// exitInterrupted distinguishes an operator interrupt with checkpointed
+// progress from a failed sweep (1) or a usage error (2).
+const exitInterrupted = 3
 
 var designByName = map[string]bear.Design{
 	"nol4": bear.NoL4, "alloy": bear.Alloy, "bear": bear.BEAR,
@@ -52,6 +66,7 @@ func main() {
 		traces   = flag.String("trace", "", "glob of per-core trace files (see beartrace); replaces -workload")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations across the workload x design sweep")
 		check    = flag.Bool("check", false, "run engine invariant checks each epoch and verify quiescence after the run")
+		resume   = flag.String("resume", "", "directory of an on-disk result store; completed units are restored instead of re-simulated")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON (an array when sweeping)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -138,12 +153,34 @@ func main() {
 		fail(fmt.Errorf("no workloads given"))
 	}
 
+	var store *resultStore
+	if *resume != "" {
+		st, err := openResultStore(*resume)
+		if err != nil {
+			fail(err)
+		}
+		store = st
+	}
+
+	// Interrupt handling: the first SIGINT/SIGTERM drains the sweep —
+	// units already running finish (and persist to -resume), units still
+	// queued never start — and the run exits with code 3.
+	var interrupted atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "bearsim: interrupted — finishing in-flight units, checkpointing completed ones")
+		interrupted.Store(true)
+	}()
+
 	workers := *parallel
 	if workers < 1 {
 		workers = 1
 	}
 	results := make([]*bear.Result, len(jobs))
 	errs := make([]error, len(jobs))
+	skipped := make([]bool, len(jobs))
 	sem := make(chan struct{}, workers)
 	done := make(chan int, len(jobs))
 	for i, j := range jobs {
@@ -151,6 +188,11 @@ func main() {
 		go func() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if interrupted.Load() {
+				skipped[i] = true
+				done <- i
+				return
+			}
 			// Fault isolation: a panic in one unit fails that unit, not
 			// the sweep. The remaining units still run and print.
 			defer func() {
@@ -159,10 +201,20 @@ func main() {
 				}
 				done <- i
 			}()
+			key := unitKey(j.cfg, j.workload)
+			if store != nil {
+				if res, ok := store.load(key); ok {
+					results[i] = res
+					return
+				}
+			}
 			if n, isMix := mixIndex(j.workload); isMix {
 				results[i], errs[i] = bear.RunMix(j.cfg, n)
 			} else {
 				results[i], errs[i] = bear.RunRate(j.cfg, j.workload)
+			}
+			if store != nil && errs[i] == nil {
+				store.save(key, results[i])
 			}
 		}()
 	}
@@ -172,12 +224,14 @@ func main() {
 
 	// Print the units that succeeded (in sweep order), then summarise the
 	// failures. The exit code reports sweep health: 0 only when every unit
-	// completed.
+	// completed, 3 when an interrupt left the sweep checkpointed.
 	var completed []*bear.Result
 	failed := 0
 	for i := range jobs {
-		if errs[i] != nil {
-			failed++
+		if skipped[i] || errs[i] != nil {
+			if errs[i] != nil {
+				failed++
+			}
 			continue
 		}
 		completed = append(completed, results[i])
@@ -190,6 +244,16 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  FAIL %-10s %-10s %v\n", j.cfg.Design, j.workload, errs[i])
 			}
 		}
+	}
+	if interrupted.Load() {
+		where := *resume
+		if where == "" {
+			where = "nowhere (-resume not set; completed units were not persisted)"
+		}
+		fmt.Fprintf(os.Stderr, "bearsim: interrupted; completed units checkpointed to %s — re-run the same command to resume\n", where)
+		os.Exit(exitInterrupted)
+	}
+	if failed > 0 {
 		os.Exit(1)
 	}
 }

@@ -159,8 +159,13 @@ func emit(found []finding, jsonOut bool) {
 //   - determinism rules cover every internal/ simulation package, including
 //     internal/lint itself (the analyzer must be as deterministic as the
 //     models it audits); cmd/examples are drivers that legitimately read
-//     wall-clock time for progress reporting;
-//   - goroutines are allowed only in internal/exp (the worker-pool layer);
+//     wall-clock time for progress reporting, and internal/serve is the
+//     bearserve control plane — deadlines, backoff and circuit breakers are
+//     wall-clock machinery by design, and nothing under internal/serve is
+//     on a simulation path (workers are separate processes whose simulation
+//     code stays fully covered);
+//   - goroutines are allowed only in internal/exp (the worker-pool layer)
+//     and internal/serve (the supervision tree);
 //   - the map-iteration rule applies everywhere, because map-ordered output
 //     from a driver is as nondeterministic as from a model;
 //   - the typed-invariant rule (no bare string panics) covers the engine
@@ -185,10 +190,10 @@ func repoConfig(module string, full bool) lint.Config {
 	}
 	return lint.Config{
 		Determinism: func(path string) bool {
-			return strings.HasPrefix(path, internal)
+			return strings.HasPrefix(path, internal) && path != internal+"serve"
 		},
 		AllowGo: func(path string) bool {
-			return path == internal+"exp"
+			return path == internal+"exp" || path == internal+"serve"
 		},
 		MapRange:       func(path string) bool { return true },
 		InvariantPanic: func(path string) bool { return engine[path] },

@@ -213,8 +213,8 @@ const (
 //     a removal pops the ring instead of scanning every bank.
 type pool struct {
 	bq   []bankQ
-	size int    // total queued requests across banks
-	occ  uint64 // bitmask of banks with a non-empty FIFO (Banks <= 64)
+	size int     // total queued requests across banks
+	occ  bankSet // bitmask of banks with a non-empty FIFO
 
 	firstHit  []int32
 	firstMiss []int32
@@ -253,6 +253,7 @@ func (x *exRing) push(seq uint64, bank int32) {
 
 func (p *pool) init(banks int) {
 	p.bq = make([]bankQ, banks)
+	p.occ = make(bankSet, (banks+63)/64)
 	p.firstHit = make([]int32, banks)
 	p.firstMiss = make([]int32, banks)
 	p.nHit = make([]int32, banks)
@@ -278,7 +279,7 @@ func (p *pool) push(c *channel, r *Request) {
 	at := int32(q.Len())
 	q.Push(r)
 	p.size++
-	p.occ |= 1 << uint(b)
+	p.occ.set(b)
 	if p.firstHit[b] != classStale {
 		bk := &c.banks[b]
 		if bk.hasOpen && bk.openRow == r.Row {
@@ -319,7 +320,7 @@ func (p *pool) remove(c *channel, b int, idx int32, stale bool) *Request {
 	r := q.RemoveAt(int(idx))
 	p.size--
 	if q.Len() == 0 {
-		p.occ &^= 1 << uint(b)
+		p.occ.clear(b)
 	}
 	if stale {
 		p.firstHit[b] = classStale
@@ -453,8 +454,18 @@ type channel struct {
 	stallValid bool
 }
 
-// maxBanks bounds banks per channel: pool.occ is a uint64 bank bitmask.
-const maxBanks = 64
+// bankSet is a bank bitmask: one word covers the common geometries, extra
+// words let the Figure 15 sweep scale to hundreds of banks per channel.
+// Word count is fixed at init, so set/clear stay branch-free hot-path ops.
+type bankSet []uint64
+
+//bear:hotpath
+func (s bankSet) set(b int) { s[b>>6] |= 1 << uint(b&63) }
+
+//bear:hotpath
+func (s bankSet) clear(b int) { s[b>>6] &^= 1 << uint(b&63) }
+
+func (s bankSet) has(b int) bool { return s[b>>6]&(1<<uint(b&63)) != 0 }
 
 // Memory is one DRAM subsystem.
 type Memory struct {
@@ -480,10 +491,6 @@ type Memory struct {
 
 // New creates a Memory with the given geometry attached to the event queue.
 func New(name string, cfg config.DRAM, q *event.Queue) *Memory {
-	if cfg.Banks > maxBanks {
-		panic(fault.Invariantf("dram", "%s: %d banks per channel exceeds the supported %d",
-			name, cfg.Banks, maxBanks))
-	}
 	m := &Memory{Name: name, cfg: cfg, q: q, rcdCas: cfg.TRCD + cfg.TCAS}
 	if cfg.TREFI == 0 {
 		// No refresh: a degenerate all-time memo makes every alignRefresh
@@ -695,61 +702,64 @@ func (m *Memory) pick(now uint64, c *channel, p *pool) (bank int, idx int32, sta
 	busFree := max64(c.busFreeAt, now)
 	bank = -1
 	var bestSeq uint64
-	for occ := p.occ; occ != 0; occ &= occ - 1 {
-		b := bits.TrailingZeros64(occ)
-		limit := p.win[b]
-		if limit == 0 {
-			continue
-		}
-		if p.firstHit[b] == classStale {
-			p.ensureClass(c, b)
-		}
-		bk := &c.banks[b]
-		if h := p.firstHit[b]; h >= 0 && h < limit {
-			// Bank-level hit bound: no hit of this bank starts before its
-			// open row is CAS-ready or before the bus frees (alignment only
-			// pushes later). Request enqueue times are not arrival-ordered
-			// within a bank, so the bound must not include them — but the
-			// first hit's seq is minimal among the bank's hits, so it
-			// settles the tie case.
-			hlb := max64(bk.openAt+m.cfg.TCAS, busFree)
-			if bank >= 0 && (hlb > start ||
-				(hlb == start && rowHit && bestSeq < p.bq[b].at(int(h)).seq)) {
-				goto miss
+	for w, word := range p.occ {
+		base := w << 6
+		for occ := word; occ != 0; occ &= occ - 1 {
+			b := base + bits.TrailingZeros64(occ)
+			limit := p.win[b]
+			if limit == 0 {
+				continue
 			}
-			{
-				e := p.bq[b].at(int(h))
-				s := max64(max64(e.enq, bk.openAt)+m.cfg.TCAS, busFree)
+			if p.firstHit[b] == classStale {
+				p.ensureClass(c, b)
+			}
+			bk := &c.banks[b]
+			if h := p.firstHit[b]; h >= 0 && h < limit {
+				// Bank-level hit bound: no hit of this bank starts before its
+				// open row is CAS-ready or before the bus frees (alignment only
+				// pushes later). Request enqueue times are not arrival-ordered
+				// within a bank, so the bound must not include them — but the
+				// first hit's seq is minimal among the bank's hits, so it
+				// settles the tie case.
+				hlb := max64(bk.openAt+m.cfg.TCAS, busFree)
+				if bank >= 0 && (hlb > start ||
+					(hlb == start && rowHit && bestSeq < p.bq[b].at(int(h)).seq)) {
+					goto miss
+				}
+				{
+					e := p.bq[b].at(int(h))
+					s := max64(max64(e.enq, bk.openAt)+m.cfg.TCAS, busFree)
+					as := m.alignRefresh(s, e.bur)
+					seq := e.seq
+					if as != busFree && p.nHit[b] > 1 {
+						as, h, seq = m.scanClass(c, p, b, limit, busFree, now, true)
+					}
+					if bank < 0 || as < start || (as == start && (!rowHit || seq < bestSeq)) {
+						bank, idx, start, rowHit, bestSeq = b, h, as, true, seq
+					}
+				}
+			}
+		miss:
+			if mi := p.firstMiss[b]; mi >= 0 && mi < limit {
+				// The shared miss lower bound uses only bank state, so the
+				// common can't-win case skips even the entry load.
+				lb := max64(max64(bk.busyUntil, now)+m.rcdCas, busFree)
+				if bank >= 0 && lb > start {
+					continue
+				}
+				e := p.bq[b].at(int(mi))
+				if bank >= 0 && lb == start && (rowHit || bestSeq < e.seq) {
+					continue
+				}
+				s := max64(m.missReady(c, bk, now), busFree)
 				as := m.alignRefresh(s, e.bur)
 				seq := e.seq
-				if as != busFree && p.nHit[b] > 1 {
-					as, h, seq = m.scanClass(c, p, b, limit, busFree, now, true)
+				if as != s {
+					as, mi, seq = m.scanClass(c, p, b, limit, busFree, now, false)
 				}
-				if bank < 0 || as < start || (as == start && (!rowHit || seq < bestSeq)) {
-					bank, idx, start, rowHit, bestSeq = b, h, as, true, seq
+				if bank < 0 || as < start || (as == start && !rowHit && seq < bestSeq) {
+					bank, idx, start, rowHit, bestSeq = b, mi, as, false, seq
 				}
-			}
-		}
-	miss:
-		if mi := p.firstMiss[b]; mi >= 0 && mi < limit {
-			// The shared miss lower bound uses only bank state, so the
-			// common can't-win case skips even the entry load.
-			lb := max64(max64(bk.busyUntil, now)+m.rcdCas, busFree)
-			if bank >= 0 && lb > start {
-				continue
-			}
-			e := p.bq[b].at(int(mi))
-			if bank >= 0 && lb == start && (rowHit || bestSeq < e.seq) {
-				continue
-			}
-			s := max64(m.missReady(c, bk, now), busFree)
-			as := m.alignRefresh(s, e.bur)
-			seq := e.seq
-			if as != s {
-				as, mi, seq = m.scanClass(c, p, b, limit, busFree, now, false)
-			}
-			if bank < 0 || as < start || (as == start && !rowHit && seq < bestSeq) {
-				bank, idx, start, rowHit, bestSeq = b, mi, as, false, seq
 			}
 		}
 	}

@@ -401,3 +401,32 @@ func TestEnqueueCompleteAllocFree(t *testing.T) {
 		t.Fatalf("warm enqueue->complete allocated %.1f times per run, want 0", allocs)
 	}
 }
+
+// TestManyBanksPerChannel exercises geometries past 64 banks per channel,
+// where the scheduler's bank-occupancy bitmask needs more than one word
+// (the Figure 15 sweep reaches 512). Every bank gets traffic, SelfCheck
+// holds each pick to the reference scan, and the invariant sweep diffs the
+// multi-word occupancy bits against the queues.
+func TestManyBanksPerChannel(t *testing.T) {
+	for _, banks := range []int{65, 128, 512} {
+		cfg := testCfg()
+		cfg.Banks = banks
+		var q event.Queue
+		m := New("t", cfg, &q)
+		m.SelfCheck = true
+		completions := 0
+		for b := 0; b < banks; b++ {
+			m.Read(uint64(b%7), 0, b, uint64(b), 64, func(uint64) { completions++ })
+		}
+		if err := m.CheckInvariants(0); err != nil {
+			t.Fatalf("banks=%d enqueued: %v", banks, err)
+		}
+		q.Run(nil)
+		if completions != banks {
+			t.Fatalf("banks=%d: %d of %d reads completed", banks, completions, banks)
+		}
+		if err := m.CheckInvariants(0); err != nil {
+			t.Fatalf("banks=%d drained: %v", banks, err)
+		}
+	}
+}

@@ -28,7 +28,7 @@ import "bear/internal/fault"
 // incremental pick minimises.
 func (m *Memory) refPick(now uint64, c *channel, p *pool) (bank int, idx int32, start uint64, rowHit bool) {
 	busFree := max64(c.busFreeAt, now)
-	var cur [maxBanks]int32
+	cur := make([]int32, len(p.bq))
 	limit := p.size
 	if limit > scanLimit {
 		limit = scanLimit
@@ -118,7 +118,7 @@ func (m *Memory) checkPool(ch int, c *channel, p *pool, isWrite bool) error {
 		q := &p.bq[b]
 		n := q.Len()
 		total += n
-		if occupied := p.occ&(1<<uint(b)) != 0; occupied != (n > 0) {
+		if occupied := p.occ.has(b); occupied != (n > 0) {
 			return fault.Invariantf("dram", "%s: channel %d %s bank %d occupancy bit %v with %d queued",
 				m.Name, ch, name, b, occupied, n)
 		}
@@ -197,7 +197,7 @@ func (m *Memory) checkPool(ch int, c *channel, p *pool, isWrite bool) error {
 	// front, so a missing or misordered entry would silently freeze a
 	// request outside the window. Dead ring entries (from earlier drains
 	// through the window boundary) are skipped, mirroring remove.
-	var cur [maxBanks]int32
+	cur := make([]int32, len(p.bq))
 	for b := range p.bq {
 		cur[b] = p.win[b]
 	}

@@ -11,6 +11,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -219,12 +220,13 @@ type Runner struct {
 	// makes interrupted sweeps resumable. Set before the first request.
 	Store *Store
 
-	mu       sync.Mutex
-	memo     map[memoKey]*task
-	sem      chan struct{} // worker slots, sized from Parallel on first use
-	count    int
-	restored int
-	failures map[memoKey]Failure
+	mu          sync.Mutex
+	memo        map[memoKey]*task
+	sem         chan struct{} // worker slots, sized from Parallel on first use
+	count       int
+	restored    int
+	interrupted bool
+	failures    map[memoKey]Failure
 
 	logMu  sync.Mutex
 	queues sync.Pool // *event.Queue, reused across simulations per worker
@@ -275,6 +277,14 @@ func (r *Runner) start(s spec, wlName string, mk func() (trace.Workload, error))
 		r.mu.Unlock()
 		return t
 	}
+	if r.interrupted {
+		// Drain mode: refuse to start anything new, without memoising the
+		// refusal — a later sweep over the same store must re-request it.
+		r.mu.Unlock()
+		t := &task{err: ErrInterrupted, done: make(chan struct{})}
+		close(t.done)
+		return t
+	}
 	if r.sem == nil {
 		workers := r.Parallel
 		if workers < 1 {
@@ -321,7 +331,7 @@ func (r *Runner) runUnit(key memoKey, s spec, wlName string, mk func() (trace.Wo
 			}
 			res = nil
 		}
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrInterrupted) {
 			r.mu.Lock()
 			r.failures[key] = Failure{Design: s.design.String(), Workload: key.wl, Err: err}
 			r.mu.Unlock()

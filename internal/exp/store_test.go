@@ -92,7 +92,9 @@ func TestStoreRejectsCorruption(t *testing.T) {
 }
 
 // TestStoreRejectsStaleFingerprint: entries written under a different
-// code version or parameter set must not be trusted.
+// code version or parameter set must not be trusted by Load — but they
+// stay on disk, checksum-guarded, so LoadStale can serve them as labelled
+// stale results when bearserve degrades.
 func TestStoreRejectsStaleFingerprint(t *testing.T) {
 	dir := t.TempDir()
 	st1, err := OpenStore(dir, "fp-old")
@@ -107,8 +109,27 @@ func TestStoreRejectsStaleFingerprint(t *testing.T) {
 	if _, ok := st2.Load("unit-a"); ok {
 		t.Fatal("stale-fingerprint entry served as valid")
 	}
-	if st2.Discarded() != 1 {
-		t.Errorf("Discarded() = %d, want 1", st2.Discarded())
+	if st2.Discarded() != 0 {
+		t.Errorf("Discarded() = %d, want 0: stale entries are kept for LoadStale", st2.Discarded())
+	}
+	res, fp, ok := st2.LoadStale("unit-a")
+	if !ok || res == nil {
+		t.Fatal("LoadStale refused a structurally valid stale entry")
+	}
+	if fp != "fp-old" {
+		t.Errorf("LoadStale fingerprint = %q, want fp-old", fp)
+	}
+	// Corruption is still corruption in stale mode: flip a payload byte.
+	raw, err := os.ReadFile(st2.path("unit-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(st2.path("unit-a"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st2.LoadStale("unit-a"); ok {
+		t.Fatal("LoadStale served a corrupt entry")
 	}
 }
 

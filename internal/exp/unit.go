@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bear/internal/config"
+	"bear/internal/stats"
+)
+
+// UnitSpec is the wire form of one sweep unit: a paper-default design by
+// name plus a workload. It is the unit of fault isolation in bearserve —
+// the server serializes UnitSpecs to worker subprocesses (bearbench
+// -worker) and each worker simulates exactly one before reporting back —
+// and the unit of resume in bearbench, whose store entries the server's
+// share keys with (see Key).
+//
+// Workload naming follows the Runner's memo vocabulary: a rate benchmark
+// name ("soplex"), "MIX<n>" for mixed workload n, or "<bench>@single" for
+// a single-program run.
+type UnitSpec struct {
+	Design   string `json:"design"`
+	Workload string `json:"workload"`
+}
+
+func (u UnitSpec) String() string { return u.Design + "/" + u.Workload }
+
+// unitDesigns maps UnitSpec design names (case-insensitively) to the
+// paper-default spec for that design.
+var unitDesigns = map[string]config.Design{
+	"nol4": config.NoL4, "alloy": config.Alloy, "bear": config.BEAR,
+	"bw-opt": config.BWOpt, "lh": config.LohHill, "mc": config.MostlyClean,
+	"incl-alloy": config.InclAlloy, "tis": config.TIS, "sc": config.Sector,
+	"banshee": config.Banshee, "tictoc": config.TicToc,
+}
+
+// UnitDesignNames lists the design names UnitSpec accepts, sorted, in
+// their canonical (Design.String) casing.
+func UnitDesignNames() []string {
+	var names []string
+	for _, d := range unitDesigns {
+		names = append(names, d.String())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resolve maps the unit onto the Runner's memo coordinates: the
+// paper-default spec for its design and the workload name exactly as the
+// memo (and therefore the result store) keys it.
+func (u UnitSpec) resolve() (spec, error) {
+	d, ok := unitDesigns[strings.ToLower(strings.TrimSpace(u.Design))]
+	if !ok {
+		return spec{}, fmt.Errorf("exp: unknown design %q (have %s)",
+			u.Design, strings.Join(UnitDesignNames(), ", "))
+	}
+	if strings.TrimSpace(u.Workload) == "" {
+		return spec{}, fmt.Errorf("exp: unit %s: empty workload", u)
+	}
+	return baseSpec(d), nil
+}
+
+// Validate reports whether the unit names a known design and a non-empty
+// workload (workload existence is checked at run time, when the trace
+// catalog is consulted).
+func (u UnitSpec) Validate() error {
+	_, err := u.resolve()
+	return err
+}
+
+// Key returns the unit's result-store key — identical to the key the
+// Runner uses when it simulates the same (design, workload) itself, so a
+// store populated by bearserve workers resumes a bearbench sweep and vice
+// versa.
+func (u UnitSpec) Key() (string, error) {
+	s, err := u.resolve()
+	if err != nil {
+		return "", err
+	}
+	return storeKey(memoKey{s: s, wl: u.Workload}), nil
+}
+
+// UnitAsync starts (or joins) the unit's simulation and returns a future,
+// dispatching on the workload naming convention: "MIX<n>", "<b>@single",
+// or a rate benchmark name.
+func (r *Runner) UnitAsync(u UnitSpec) (Future, error) {
+	s, err := u.resolve()
+	if err != nil {
+		return Future{}, err
+	}
+	if rest, ok := strings.CutPrefix(u.Workload, "MIX"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return Future{}, fmt.Errorf("exp: unit %s: bad mix number %q", u, rest)
+		}
+		return r.MixAsync(s, n), nil
+	}
+	if bench, ok := strings.CutSuffix(u.Workload, "@single"); ok {
+		return r.SingleAsync(s, bench), nil
+	}
+	return r.RateAsync(s, u.Workload), nil
+}
+
+// RunUnit simulates the unit to completion on the calling goroutine's
+// behalf — the whole job of a bearbench -worker process.
+func (r *Runner) RunUnit(u UnitSpec) (*stats.Run, error) {
+	f, err := r.UnitAsync(u)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
+// ErrInterrupted is returned by units refused because the Runner was
+// interrupted. It marks orderly shutdown, not a simulation fault, so it
+// never enters the failure table.
+var ErrInterrupted = errors.New("exp: runner interrupted")
+
+// Interrupt puts the Runner into drain mode: units already executing run
+// to completion (and, with a Store attached, persist their results as
+// usual), while any unit not yet started fails fast with ErrInterrupted.
+// This is the SIGINT/SIGTERM path — everything finished is checkpointed,
+// nothing new begins — and it is safe to call more than once.
+func (r *Runner) Interrupt() {
+	r.mu.Lock()
+	r.interrupted = true
+	r.mu.Unlock()
+}
+
+// Interrupted reports whether Interrupt has been called.
+func (r *Runner) Interrupted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.interrupted
+}

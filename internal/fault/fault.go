@@ -61,6 +61,12 @@ const (
 	// WatchdogDrain: the post-run event-queue drain failed to terminate
 	// within its event budget.
 	WatchdogDrain
+	// WatchdogDeadline: a supervised worker process blew through the
+	// wall-clock deadline its supervisor derived from the unit's
+	// instruction budget. Raised by bearserve's pool, not by hier.Sim —
+	// it is the one watchdog kind observed from outside the simulation —
+	// but it shares this vocabulary so failure tables classify uniformly.
+	WatchdogDeadline
 )
 
 var watchdogKindNames = [...]string{
@@ -68,6 +74,7 @@ var watchdogKindNames = [...]string{
 	WatchdogCycleBudget: "cycle-budget",
 	WatchdogDeadlock:    "deadlock",
 	WatchdogDrain:       "drain",
+	WatchdogDeadline:    "deadline",
 }
 
 func (k WatchdogKind) String() string {
@@ -107,6 +114,9 @@ func (e *WatchdogError) Error() string {
 	case WatchdogDrain:
 		return fmt.Sprintf("watchdog: %s/%s post-run drain did not terminate within %d events (cycle %d)",
 			e.Workload, e.Design, e.Limit, e.Cycle)
+	case WatchdogDeadline:
+		return fmt.Sprintf("watchdog: %s/%s worker exceeded its %d ms deadline",
+			e.Workload, e.Design, e.Limit)
 	}
 	return fmt.Sprintf("watchdog: %s/%s failed (%v)", e.Workload, e.Design, e.Kind)
 }

@@ -1,0 +1,127 @@
+package faultpoint
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestUnarmedIsInert(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("armed with no plan")
+	}
+	if k := Hit("store.save", "k"); k != None {
+		t.Fatalf("unarmed Hit fired %q", k)
+	}
+	if got := Fired(); len(got) != 0 {
+		t.Fatalf("unarmed Fired = %v", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "torn-write@store.save/Alloy:mcf;kill-worker@worker.run/BEAR:lbm#2;enospc@store.save#3"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != spec {
+		t.Fatalf("round trip: %q != %q", got, spec)
+	}
+	for _, bad := range []string{"tornwrite", "@site", "kind@", "k@s#0", "k@s#x"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Fatalf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestKeyedEntryFiresOnExactCoordinate(t *testing.T) {
+	p, _ := ParsePlan("torn-write@store.save/unitB#2")
+	Arm(p)
+	defer Disarm()
+
+	if k := Hit("store.save", "unitA"); k != None {
+		t.Fatalf("wrong key fired %q", k)
+	}
+	if k := Hit("store.save", "unitB"); k != None {
+		t.Fatalf("occurrence 1 fired %q", k)
+	}
+	if k := Hit("store.save", "unitB"); k != TornWrite {
+		t.Fatalf("occurrence 2 = %q, want torn-write", k)
+	}
+	if k := Hit("store.save", "unitB"); k != None {
+		t.Fatalf("entry fired twice: %q", k)
+	}
+	got := Fired()
+	if len(got) != 1 || got[0].Kind != TornWrite || got[0].Key != "unitB" || got[0].N != 2 {
+		t.Fatalf("Fired = %v", got)
+	}
+}
+
+func TestKeylessEntryCountsSiteWide(t *testing.T) {
+	p, _ := ParsePlan("enospc@store.save#3")
+	Arm(p)
+	defer Disarm()
+	keys := []string{"a", "b", "c", "d"}
+	fired := 0
+	for i, key := range keys {
+		if k := Hit("store.save", key); k == ENOSPC {
+			fired++
+			if i != 2 {
+				t.Fatalf("fired on hit %d, want 3rd", i+1)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times", fired)
+	}
+}
+
+// HitAt carries an external occurrence index (a retry attempt), so a
+// restarted process does not re-fire an earlier attempt's fault.
+func TestHitAtUsesExternalIndex(t *testing.T) {
+	p, _ := ParsePlan("kill-worker@worker.run/u1")
+	Arm(p)
+	defer Disarm()
+	if k := HitAt("worker.run", "u1", 2); k != None {
+		t.Fatalf("attempt 2 fired %q", k)
+	}
+	if k := HitAt("worker.run", "u1", 1); k != KillWorker {
+		t.Fatalf("attempt 1 = %q", k)
+	}
+	// A fresh process would re-arm the same plan; simulate by re-arming and
+	// asking for attempt 2 — the attempt-1 entry must not fire.
+	Arm(p)
+	if k := HitAt("worker.run", "u1", 2); k != None {
+		t.Fatalf("re-armed attempt 2 fired %q", k)
+	}
+}
+
+// The fired table must be independent of which goroutine hits first:
+// keyed entries pin faults to units, so concurrency only changes timing.
+func TestConcurrentHitsDeterministicTable(t *testing.T) {
+	run := func() []Record {
+		p, _ := ParsePlan("torn-write@s/u3;enospc@s/u7")
+		Arm(p)
+		defer Disarm()
+		var wg sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			key := "u" + string(rune('0'+i%10))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				Hit("s", key)
+			}()
+		}
+		wg.Wait()
+		return Fired()
+	}
+	a, b := run(), run()
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("fired %d and %d injections, want 2", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tables diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -52,3 +52,27 @@ func suppressed(v int) {
 		panic("fixture") //bear:nolint invariant — exercising the escape hatch
 	}
 }
+
+// watchdogErr stands in for fault.WatchdogError: supervision layers
+// (bearserve's worker pool, the engine watchdog) wrap blown deadlines in
+// it, so a recovered panic classifies as a timeout rather than arbitrary
+// corruption. Wrapping keeps the cause chain intact for errors.As.
+type watchdogErr struct {
+	limitMS uint64
+	err     error
+}
+
+func (e *watchdogErr) Error() string { return fmt.Sprintf("watchdog: %d ms: %v", e.limitMS, e.err) }
+func (e *watchdogErr) Unwrap() error { return e.err }
+
+func deadlineTyped(ok bool) {
+	if !ok {
+		panic(&watchdogErr{limitMS: 500, err: fmt.Errorf("worker stopped making progress")})
+	}
+}
+
+func deadlineBare(ok bool) {
+	if !ok {
+		panic("worker exceeded its 500 ms deadline") // want "invariant: panic with a bare string"
+	}
+}

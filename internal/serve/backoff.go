@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+
+	"bear/internal/rng"
+)
+
+// Backoff returns the delay before retry attempt n of the unit with the
+// given key (n is the attempt about to run: 2 for the first retry). The
+// schedule is capped exponential with equal jitter — the delay lands in
+// [d/2, d) for d = base·2^(n-2) capped at max — and the jitter is drawn
+// from the repository's deterministic generator seeded by (seed, key, n),
+// not from ambient randomness: two runs of the same chaos plan back off
+// identically, while distinct units still de-synchronise instead of
+// thundering back onto the pool together.
+func Backoff(base, max time.Duration, seed uint64, key string, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 2; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], seed)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(attempt))
+	h.Write(buf[:])
+	jitter := time.Duration(rng.New(h.Sum64()).Uint64n(uint64(d)/2 + 1))
+	return d/2 + jitter
+}

@@ -1,0 +1,61 @@
+package serve
+
+import "time"
+
+// breaker is a per-design circuit breaker. Designs whose units keep
+// faulting — a broken model, a workload that reliably trips the watchdog —
+// would otherwise monopolise the pool with doomed retries; after
+// `threshold` consecutive failures the breaker opens and the scheduler
+// sheds that design's load (failing its units fast and serving stale
+// results instead, the degradation ladder in ARCHITECTURE.md). After
+// `cooldown` the breaker half-opens and admits a single probe unit: a
+// success closes it, another failure re-opens it for a fresh cooldown.
+//
+// The caller provides timestamps (the scheduler's clock), keeping the
+// breaker itself a pure, directly testable state machine. Methods are not
+// goroutine-safe; the scheduler serialises access under its own lock.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	fails    int // consecutive failures since the last success
+	open     bool
+	openedAt time.Time
+	probing  bool // half-open: one probe admitted, result pending
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a unit of this design may dispatch now. In the
+// half-open state the first caller becomes the probe; others stay shed
+// until the probe's verdict arrives.
+func (b *breaker) allow(now time.Time) bool {
+	if !b.open {
+		return true
+	}
+	if b.probing || now.Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success records a completed unit and closes the breaker.
+func (b *breaker) success() {
+	b.fails = 0
+	b.open = false
+	b.probing = false
+}
+
+// failure records a failed attempt; enough consecutive ones open (or
+// re-open) the breaker.
+func (b *breaker) failure(now time.Time) {
+	b.fails++
+	b.probing = false
+	if b.fails >= b.threshold {
+		b.open = true
+		b.openedAt = now
+	}
+}

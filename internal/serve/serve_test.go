@@ -1,0 +1,444 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"bear/internal/exp"
+	"bear/internal/fault"
+	"bear/internal/stats"
+)
+
+const testFP = "test-fp"
+
+func sampleRun(design, workload string) *stats.Run {
+	r := &stats.Run{Design: design, Workload: workload, Cycles: 424242, Instructions: 1000}
+	r.L4.ReadHits = 7
+	return r
+}
+
+// fakeWorker writes a shell script speaking the worker protocol, so the
+// supervision machinery is testable without building simulator binaries.
+// body runs after the hello line, with one protocol request available per
+// `read line`.
+func fakeWorker(t *testing.T, fingerprint, body string) []string {
+	t.Helper()
+	script := fmt.Sprintf("#!/bin/sh\necho '{\"hello\":true,\"fingerprint\":\"%s\"}'\n%s\n", fingerprint, body)
+	path := filepath.Join(t.TempDir(), "worker.sh")
+	if err := os.WriteFile(path, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return []string{"/bin/sh", path}
+}
+
+func openTestStore(t *testing.T, fp string) (*exp.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := exp.OpenStore(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, dir
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	for attempt := 2; attempt <= 8; attempt++ {
+		d := base << (attempt - 2)
+		if d > max || d <= 0 {
+			d = max
+		}
+		got := Backoff(base, max, 7, "unit-a", attempt)
+		if got != Backoff(base, max, 7, "unit-a", attempt) {
+			t.Fatalf("attempt %d: backoff not deterministic", attempt)
+		}
+		if got < d/2 || got > d {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, got, d/2, d)
+		}
+	}
+	if Backoff(base, max, 7, "unit-a", 2) == Backoff(base, max, 7, "unit-b", 2) &&
+		Backoff(base, max, 7, "unit-a", 3) == Backoff(base, max, 7, "unit-b", 3) {
+		t.Error("distinct units share the whole jitter schedule — no de-synchronisation")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(2, time.Minute)
+	if !b.allow(t0) {
+		t.Fatal("closed breaker refused")
+	}
+	b.failure(t0)
+	if !b.allow(t0) {
+		t.Fatal("one failure below threshold opened the breaker")
+	}
+	b.failure(t0)
+	if b.allow(t0.Add(time.Second)) {
+		t.Fatal("open breaker admitted inside cooldown")
+	}
+	// Cooldown elapsed: exactly one probe is admitted.
+	t1 := t0.Add(2 * time.Minute)
+	if !b.allow(t1) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.allow(t1) {
+		t.Fatal("half-open breaker admitted a second unit mid-probe")
+	}
+	b.failure(t1)
+	if b.allow(t1.Add(30 * time.Second)) {
+		t.Fatal("failed probe did not restart the cooldown")
+	}
+	if !b.allow(t1.Add(2 * time.Minute)) {
+		t.Fatal("re-opened breaker never half-opened again")
+	}
+	b.success()
+	if !b.allow(t1.Add(2*time.Minute + time.Second)) {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestWorkerProcSupervision(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		want string // substring of the expected error
+	}{
+		{"dies mid-unit", fakeWorker(t, testFP, "read line; exit 7"), "worker exited"},
+		{"garbage stdout", fakeWorker(t, testFP, "read line; echo 'not a frame'"), "garbage"},
+		{"hangs past deadline", fakeWorker(t, testFP, "read line; sleep 60"), "deadline"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := newWorkerProc(c.argv, testFP)
+			defer w.kill()
+			_, err := w.run(WorkRequest{Unit: exp.UnitSpec{Design: "Alloy", Workload: "x"}, Attempt: 1},
+				500*time.Millisecond)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v, want substring %q", err, c.want)
+			}
+			if w.alive() {
+				t.Error("failed worker left attached; pool would reuse a broken process")
+			}
+		})
+	}
+}
+
+func TestWorkerDeadlineIsTypedWatchdog(t *testing.T) {
+	w := newWorkerProc(fakeWorker(t, testFP, "read line; sleep 60"), testFP)
+	defer w.kill()
+	_, err := w.run(WorkRequest{Unit: exp.UnitSpec{Design: "BEAR", Workload: "mcf"}, Attempt: 2},
+		300*time.Millisecond)
+	var we *fault.WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("deadline error %v is not a *fault.WatchdogError", err)
+	}
+	if we.Kind != fault.WatchdogDeadline || we.Design != "BEAR" || we.Workload != "mcf" {
+		t.Fatalf("watchdog fields = %+v", we)
+	}
+	if !strings.Contains(we.Error(), "deadline") {
+		t.Fatalf("deadline error text %q", we.Error())
+	}
+}
+
+func TestWorkerFingerprintMismatchRefused(t *testing.T) {
+	w := newWorkerProc(fakeWorker(t, "other-fp", "cat >/dev/null"), testFP)
+	defer w.kill()
+	_, err := w.run(WorkRequest{Unit: exp.UnitSpec{Design: "Alloy", Workload: "x"}, Attempt: 1}, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("mismatched worker admitted: %v", err)
+	}
+}
+
+// TestServerRetriesThenFails drives a unit against a worker that always
+// reports failure: the scheduler must retry up to MaxAttempts with one
+// retry-table entry per attempt, then fail the unit terminally.
+func TestServerRetriesThenFails(t *testing.T) {
+	st, dir := openTestStore(t, testFP)
+	s := New(Config{
+		WorkerCmd:   fakeWorker(t, testFP, `while read line; do echo '{"ok":false,"error":"boom"}'; done`),
+		Workers:     1,
+		Store:       st,
+		StoreDir:    dir,
+		Fingerprint: testFP,
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Params:      exp.Quick(),
+	})
+	s.Start()
+	defer s.Drain()
+	if _, err := s.Submit([]exp.UnitSpec{{Design: "Alloy", Workload: "soplex"}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+	p := s.Progress()
+	if p.Failed != 1 || p.Done != 0 {
+		t.Fatalf("progress = %+v, want 1 failed", p)
+	}
+	u := p.Units[0]
+	if u.State != StateFailed || u.Attempts != 3 || len(u.Errors) != 3 {
+		t.Fatalf("unit = %+v, want 3 recorded attempts", u)
+	}
+	for i, e := range u.Errors {
+		want := fmt.Sprintf("attempt %d: unit failed in worker: boom", i+1)
+		if e != want {
+			t.Fatalf("retry table entry %d = %q, want %q", i, e, want)
+		}
+	}
+	if p.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", p.Retries)
+	}
+}
+
+// TestServerBreakerSheds opens the per-design breaker with consecutive
+// failures and verifies later dispatches of that design are shed instead
+// of burning worker time.
+func TestServerBreakerSheds(t *testing.T) {
+	st, dir := openTestStore(t, testFP)
+	s := New(Config{
+		WorkerCmd:       fakeWorker(t, testFP, `while read line; do echo '{"ok":false,"error":"boom"}'; done`),
+		Workers:         1,
+		Store:           st,
+		StoreDir:        dir,
+		Fingerprint:     testFP,
+		MaxAttempts:     4,
+		BaseBackoff:     time.Millisecond,
+		MaxBackoff:      2 * time.Millisecond,
+		BreakerFails:    2,
+		BreakerCooldown: time.Hour,
+		Params:          exp.Quick(),
+	})
+	s.Start()
+	defer s.Drain()
+	if _, err := s.Submit([]exp.UnitSpec{{Design: "Alloy", Workload: "soplex"}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+	u := s.Progress().Units[0]
+	if u.State != StateFailed {
+		t.Fatalf("unit state %s, want failed", u.State)
+	}
+	// Two real attempts open the breaker; the third dispatch is shed.
+	if u.Attempts != 2 || len(u.Errors) != 3 {
+		t.Fatalf("unit = %+v, want 2 attempts then a shed entry", u)
+	}
+	if !strings.Contains(u.Errors[2], "circuit breaker open") {
+		t.Fatalf("final entry %q does not record the shed", u.Errors[2])
+	}
+}
+
+// TestServerEndToEndHTTP drives the full happy path over HTTP against a
+// fake worker that replies with a precomputed valid envelope, then checks
+// the degradation ladder and the readiness flip during drain.
+func TestServerEndToEndHTTP(t *testing.T) {
+	unit := exp.UnitSpec{Design: "Alloy", Workload: "soplex"}
+	key, err := unit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRun("Alloy", "soplex")
+	env, err := exp.EncodeEnvelope(testFP, key, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := json.Marshal(WorkReply{OK: true, Envelope: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replyPath := filepath.Join(t.TempDir(), "reply.json")
+	if err := os.WriteFile(replyPath, append(reply, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the store directory with a stale-era entry for a second unit,
+	// so the degraded path has something to serve.
+	staleUnit := exp.UnitSpec{Design: "BEAR", Workload: "libq"}
+	staleKey, err := staleUnit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	old, err := exp.OpenStore(dir, "fp-old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleRun := sampleRun("BEAR", "libq")
+	old.Save(staleKey, staleRun)
+
+	st, err := exp.OpenStore(dir, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		WorkerCmd:   fakeWorker(t, testFP, fmt.Sprintf(`while read line; do cat %s; done`, replyPath)),
+		Workers:     1,
+		Store:       st,
+		StoreDir:    dir,
+		Fingerprint: testFP,
+		Params:      exp.Quick(),
+	})
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	get := func(path string) (int, http.Header, []byte) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, resp.Header, buf.Bytes()
+	}
+
+	if code, _, _ := get("/healthz"); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code, _, _ := get("/readyz"); code != 200 {
+		t.Fatalf("readyz = %d", code)
+	}
+	if code, _, _ := get("/result?design=Alloy&workload=soplex"); code != 404 {
+		t.Fatalf("result before submit = %d, want 404", code)
+	}
+
+	body, _ := json.Marshal(map[string]any{"units": []exp.UnitSpec{unit}})
+	resp, err := http.Post(hs.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep = %d", resp.StatusCode)
+	}
+	s.Wait()
+
+	code, hdr, raw := get("/result?design=Alloy&workload=soplex")
+	if code != 200 || hdr.Get("X-Bear-Fingerprint") != testFP || hdr.Get("X-Bear-Stale") != "" {
+		t.Fatalf("fresh result: code=%d headers=%v", code, hdr)
+	}
+	var got stats.Run
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("served result differs:\n  want %+v\n  got  %+v", want, &got)
+	}
+
+	// Stale entries are not served while the pool is healthy...
+	if code, _, _ := get("/result?design=BEAR&workload=libq"); code != 404 {
+		t.Fatalf("healthy pool served stale (or wrong code %d)", code)
+	}
+
+	// ...but the drain degrades: readyz flips to 503 while healthz stays
+	// 200, and the stale era is served with its fingerprint labelled.
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := get("/healthz"); code != 200 {
+		t.Fatalf("healthz during drain = %d, want 200", code)
+	}
+	if code, _, _ := get("/readyz"); code != 503 {
+		t.Fatalf("readyz during drain = %d, want 503", code)
+	}
+	code, hdr, raw = get("/result?design=BEAR&workload=libq")
+	if code != 200 || hdr.Get("X-Bear-Stale") != "fp-old" {
+		t.Fatalf("degraded result: code=%d stale=%q", code, hdr.Get("X-Bear-Stale"))
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, staleRun) {
+		t.Fatal("stale result bytes differ from the stored era")
+	}
+	resp, err = http.Post(hs.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sweep during drain = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestDrainCheckpointsQueuedUnits drains a server whose pool never
+// started: every queued unit must land in the resume manifest, sorted and
+// readable by ReadCheckpoint.
+func TestDrainCheckpointsQueuedUnits(t *testing.T) {
+	st, dir := openTestStore(t, testFP)
+	s := New(Config{
+		WorkerCmd:   []string{"/bin/false"},
+		Store:       st,
+		StoreDir:    dir,
+		Fingerprint: testFP,
+		Params:      exp.Quick(),
+	})
+	units := []exp.UnitSpec{
+		{Design: "BEAR", Workload: "libq"},
+		{Design: "Alloy", Workload: "soplex"},
+		{Design: "Alloy", Workload: "MIX1"},
+	}
+	if n, err := s.Submit(units); err != nil || n != 3 {
+		t.Fatalf("Submit = (%d, %v)", n, err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 3 {
+		t.Fatalf("checkpoint holds %d units, want 3", len(left))
+	}
+	p := s.Progress()
+	if p.Interrupted != 3 {
+		t.Fatalf("progress = %+v, want 3 interrupted", p)
+	}
+	// Stable order: sorted by unit key, so drain manifests diff cleanly.
+	again := New(Config{WorkerCmd: []string{"/bin/false"}, Store: st, StoreDir: t.TempDir(),
+		Fingerprint: testFP, Params: exp.Quick()})
+	if n, err := again.Submit(left); err != nil || n != 3 {
+		t.Fatalf("resubmitting checkpoint = (%d, %v)", n, err)
+	}
+	if _, err := ReadCheckpoint(t.TempDir()); err != nil {
+		t.Fatalf("missing manifest should be a clean no-op: %v", err)
+	}
+}
+
+// TestWorkerLoopProtocol exercises WorkerLoop's framing without running a
+// simulation: hello first, an error reply for an invalid unit, clean EOF.
+func TestWorkerLoopProtocol(t *testing.T) {
+	in := strings.NewReader(`{"unit":{"design":"nope","workload":"x"},"attempt":1}` + "\n")
+	var out bytes.Buffer
+	r := exp.NewRunner(exp.Quick())
+	if err := WorkerLoop(r, testFP, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("worker emitted %d frames, want hello + reply:\n%s", len(lines), out.String())
+	}
+	var hello Hello
+	if err := json.Unmarshal([]byte(lines[0]), &hello); err != nil || !hello.Hello || hello.Fingerprint != testFP {
+		t.Fatalf("hello frame %q (err %v)", lines[0], err)
+	}
+	var reply WorkReply
+	if err := json.Unmarshal([]byte(lines[1]), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.OK || !strings.Contains(reply.Error, "unknown design") {
+		t.Fatalf("reply = %+v", reply)
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"bear/internal/exp"
+	"bear/internal/faultpoint"
+)
+
+// WorkerLoop is the body of a `bearbench -worker` process: it announces
+// its fingerprint, then serves WorkRequests from in until EOF, emitting
+// one WorkReply line per request on out. Each unit simulates on the
+// calling process's Runner, so a crash — real or injected — takes down
+// exactly one unit's process while the server retries it elsewhere.
+//
+// The faultpoint site "worker.run" models the ways a worker can betray
+// its supervisor, keyed by unit key with the externally supplied attempt
+// index (see faultpoint.HitAt): KillWorker dies abruptly with no output,
+// as the OOM killer would; Hang stops making progress until the server's
+// deadline trips; GarbageStdout corrupts the protocol stream.
+func WorkerLoop(r *exp.Runner, fingerprint string, in io.Reader, out io.Writer) error {
+	enc := json.NewEncoder(out)
+	if err := enc.Encode(Hello{Hello: true, Fingerprint: fingerprint}); err != nil {
+		return fmt.Errorf("serve: worker hello: %w", err)
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		var req WorkRequest
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			return fmt.Errorf("serve: worker: undecodable request %q: %w", sc.Text(), err)
+		}
+		key, err := req.Unit.Key()
+		if err != nil {
+			if err := enc.Encode(WorkReply{Error: err.Error()}); err != nil {
+				return err
+			}
+			continue
+		}
+		switch faultpoint.HitAt("worker.run", key, req.Attempt) {
+		case faultpoint.KillWorker:
+			os.Exit(137)
+		case faultpoint.Hang:
+			select {} // no progress until the supervisor's deadline kills us
+		case faultpoint.GarbageStdout:
+			fmt.Fprintln(out, `}} not a protocol frame {{`)
+			continue
+		}
+		reply := runOne(r, fingerprint, key, req.Unit)
+		if err := enc.Encode(reply); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func runOne(r *exp.Runner, fingerprint, key string, u exp.UnitSpec) WorkReply {
+	res, err := r.RunUnit(u)
+	if err != nil {
+		return WorkReply{Error: err.Error()}
+	}
+	env, err := exp.EncodeEnvelope(fingerprint, key, res)
+	if err != nil {
+		return WorkReply{Error: fmt.Sprintf("encoding result envelope: %v", err)}
+	}
+	return WorkReply{OK: true, Envelope: env}
+}

@@ -69,3 +69,85 @@ go run ./cmd/bearbench $resume_args | grep -v '^\[' >"$run1"
 go run ./cmd/bearbench $resume_args 2>"$err2" | grep -v '^\[' >"$run2"
 cmp "$run1" "$run2"
 grep -q 'result(s) restored' "$err2"
+
+# chaos smoke: the bearserve supervision tree survives a worker killed
+# mid-unit. A fault plan deterministically hangs the worker inside its one
+# unit (so "mid-unit" is a fact, not a race), kill -9 takes the worker
+# down from outside, and the server must retry and finish with results
+# byte-identical to an uninjected run. A third instance checks the drain
+# ladder: with a unit in flight, SIGTERM flips /readyz to 503 while
+# /healthz stays 200, and the unfinished unit lands in the checkpoint
+# manifest. (The in-process chaos matrix is TestChaosSweepByteIdentical
+# in internal/serve; this stage proves the shipped binaries.)
+bindir=$(mktemp -d)
+cstore=$(mktemp -d)
+fstore=$(mktemp -d)
+dstore=$(mktemp -d)
+srv=
+trap 'kill "$srv" 2>/dev/null || true; rm -rf "$store" "$run1" "$run2" "$err2" "$bindir" "$cstore" "$fstore" "$dstore"' EXIT
+go build -buildvcs=false -o "$bindir" ./cmd/bearbench ./cmd/bearserve
+addr=127.0.0.1:18431
+unit='{"units":[{"design":"Alloy","workload":"soplex"}]}'
+# Fault plans address units by store key; derive it, never hand-write it.
+key=$("$bindir/bearbench" -unitkey Alloy/soplex)
+
+serve_wait_ready() {
+	for _ in $(seq 1 100); do
+		if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then return 0; fi
+		sleep 0.1
+	done
+	echo "bearserve never became ready" >&2
+	return 1
+}
+progress_wait() { # $1: substring of /progress to wait for
+	for _ in $(seq 1 300); do
+		if curl -fsS "http://$addr/progress" | grep -q "$1"; then return 0; fi
+		sleep 0.2
+	done
+	echo "bearserve progress never showed: $1" >&2
+	curl -fsS "http://$addr/progress" >&2 || true
+	return 1
+}
+
+# Reference sweep, no faults.
+"$bindir/bearserve" -addr "$addr" -store "$cstore" -workers 1 -quick &
+srv=$!
+serve_wait_ready
+curl -fsS -XPOST "http://$addr/sweep" -d "$unit" >/dev/null
+progress_wait '"done": 1'
+curl -fsS "http://$addr/result?design=Alloy&workload=soplex" >"$run1"
+kill -TERM $srv
+wait $srv
+
+# Chaos sweep: the worker hangs inside the unit; kill -9 it mid-unit.
+"$bindir/bearserve" -addr "$addr" -store "$fstore" -workers 1 -quick \
+	-worker-faultplan "hang@worker.run/$key" &
+srv=$!
+serve_wait_ready
+curl -fsS -XPOST "http://$addr/sweep" -d "$unit" >/dev/null
+progress_wait '"running": 1'
+sleep 1 # let the dispatched worker reach its injected hang
+workerpid=$(pgrep -n -f "$bindir/bearbench -worker")
+kill -9 "$workerpid"
+progress_wait '"done": 1'
+curl -fsS "http://$addr/progress" >"$run2"
+grep -q '"retries": 1' "$run2"     # the kill was retried...
+grep -q 'worker exited' "$run2"    # ...and classified as a worker death
+curl -fsS "http://$addr/result?design=Alloy&workload=soplex" >"$run2"
+kill -TERM $srv
+wait $srv
+cmp "$run1" "$run2" # recovery must not perturb results
+
+# Drain ladder: SIGTERM with a hung unit in flight.
+"$bindir/bearserve" -addr "$addr" -store "$dstore" -workers 1 -quick \
+	-deadline 5s -worker-faultplan "hang@worker.run/$key" &
+srv=$!
+serve_wait_ready
+curl -fsS -XPOST "http://$addr/sweep" -d "$unit" >/dev/null
+progress_wait '"running": 1'
+kill -TERM $srv
+sleep 0.5
+test "$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/readyz")" = 503
+test "$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/healthz")" = 200
+wait $srv
+test -f "$dstore/pending.json" # the unfinished unit was checkpointed
